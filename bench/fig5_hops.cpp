@@ -1,0 +1,73 @@
+// Figure 5 — "Total Number of Hops": hops per request (subscription,
+// publication, notification) for the three mappings, with the standard
+// unicast send and with the native m-cast primitive.
+//
+// Paper setup (§5.1/§5.2): n = 500, key space 2^13, subscriptions never
+// expire, all attributes non-selective, matching probability 0.5.
+//
+// Expected shape: publications cost ~1 route for M1/M2 and ~4 routes for
+// M3; subscription hops are highest for M1 (~10x M3's key count) and
+// lowest for M2; m-cast cuts subscription hops by >90% where the key
+// count is high (M1, M3).
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace cbps;
+using namespace cbps::bench;
+
+int main() {
+  using Transport = pubsub::PubSubConfig::Transport;
+
+  std::puts("=== Figure 5: hops per request, 3 mappings x {unicast, m-cast} ===");
+  std::puts("n=500, 2^13 keys, no expiration, 0 selective attrs,");
+  std::puts("1000 subscriptions, 1000 publications, matching prob 0.5\n");
+  std::printf("%-20s %-9s %12s %12s %12s %14s\n", "mapping", "transport",
+              "hops/sub", "hops/pub", "hops/notif", "notifications");
+
+  double m1_unicast_sub_hops = 0;
+  double m1_mcast_sub_hops = 0;
+  double m3_unicast_sub_hops = 0;
+  double m3_mcast_sub_hops = 0;
+
+  for (const pubsub::MappingKind mapping :
+       {pubsub::MappingKind::kAttributeSplit,
+        pubsub::MappingKind::kKeySpaceSplit,
+        pubsub::MappingKind::kSelectiveAttribute}) {
+    for (const Transport t : {Transport::kUnicast, Transport::kMulticast}) {
+      ExperimentConfig cfg;
+      cfg.mapping = mapping;
+      cfg.sub_transport = t;
+      cfg.pub_transport = t;
+      cfg.subscriptions = 1000;
+      cfg.publications = 1000;
+      const ExperimentResult r = run_experiment(cfg);
+      std::printf("%-20s %-9s %12.1f %12.2f %12.2f %14llu\n",
+                  mapping_label(mapping).c_str(), transport_label(t).c_str(),
+                  r.hops_per_subscription, r.hops_per_publication,
+                  r.hops_per_notification,
+                  static_cast<unsigned long long>(
+                      r.notifications_delivered));
+
+      if (mapping == pubsub::MappingKind::kAttributeSplit) {
+        (t == Transport::kUnicast ? m1_unicast_sub_hops
+                                  : m1_mcast_sub_hops) =
+            r.hops_per_subscription;
+      }
+      if (mapping == pubsub::MappingKind::kSelectiveAttribute) {
+        (t == Transport::kUnicast ? m3_unicast_sub_hops
+                                  : m3_mcast_sub_hops) =
+            r.hops_per_subscription;
+      }
+    }
+  }
+
+  std::printf("\nm-cast reduction of subscription hops: M1 %.0f%%, M3 %.0f%%"
+              " (paper: >90%% for high-key-count mappings)\n",
+              100.0 * (1.0 - m1_mcast_sub_hops / m1_unicast_sub_hops),
+              100.0 * (1.0 - m3_mcast_sub_hops / m3_unicast_sub_hops));
+  std::printf("M1/M3 unicast subscription-hop ratio: %.1fx (paper: ~10x "
+              "more keys for M1)\n",
+              m1_unicast_sub_hops / m3_unicast_sub_hops);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8 — "Scalability of memory consumption": maximum number of
+// subscriptions stored per node when 25,000 subscriptions are injected,
+// as a function of the number of nodes, with zero and one selective
+// attributes.
+//
+// Expected shape: with no selective attributes, M1 and M3 degrade as n
+// grows (ranges split across more rendezvous, so subscriptions are
+// copied more often) while M2 stays roughly flat; with one selective
+// attribute, M3's duplication is rare and it beats M2 for n below
+// ~2500 (§5.2).
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace cbps;
+using namespace cbps::bench;
+
+int main() {
+  std::puts("=== Figure 8: max subscriptions per node vs number of nodes ===");
+  std::puts("25000 subscriptions, no publications, no expiration\n");
+
+  const std::vector<std::size_t> node_counts = {100, 250, 500, 1000, 2500};
+
+  for (const int selective : {0, 1}) {
+    std::printf("--- %d selective attribute(s) ---\n", selective);
+    std::printf("%-20s", "mapping");
+    for (std::size_t n : node_counts) std::printf(" %9zu", n);
+    std::puts("");
+    for (const pubsub::MappingKind mapping :
+         {pubsub::MappingKind::kAttributeSplit,
+          pubsub::MappingKind::kKeySpaceSplit,
+          pubsub::MappingKind::kSelectiveAttribute}) {
+      std::printf("%-20s", mapping_label(mapping).c_str());
+      for (const std::size_t n : node_counts) {
+        ExperimentConfig cfg;
+        cfg.nodes = n;
+        cfg.mapping = mapping;
+        cfg.selective_attributes = selective;
+        cfg.subscriptions = 25'000;
+        cfg.publications = 0;
+        cfg.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
+        const ExperimentResult r = run_experiment(cfg);
+        std::printf(" %9zu", r.max_subs_per_node);
+      }
+      std::puts("");
+    }
+    std::puts("");
+  }
+  return 0;
+}

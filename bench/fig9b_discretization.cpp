@@ -1,0 +1,57 @@
+// Figure 9(b) — effect of mapping discretization on the cost of issuing
+// subscriptions (Mapping 3 with unicast; the paper notes the same
+// results apply to the other mappings with multicast).
+//
+// Discretization interval sizes: 1 (none), 10% and 20% of the average
+// constraint range size. With non-selective ranges uniform in
+// [1, 3% * ATTR_MAX], the average range is 15,000 values, so the
+// intervals are 1,500 and 3,000 values wide.
+//
+// Expected shape: coarser discretization -> markedly fewer hops per
+// subscription.
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace cbps;
+using namespace cbps::bench;
+
+int main() {
+  std::puts("=== Figure 9(b): subscription hops vs discretization ===");
+  std::puts("Mapping 3, unicast, n=500, 1000 subscriptions; rows sweep the");
+  std::puts("average range size (non-selective range bound)\n");
+
+  struct Disc {
+    const char* label;
+    double frac_of_mean_range;  // 0 = no discretization
+  };
+  const std::vector<Disc> discs = {
+      {"none", 0.0}, {"10% of range", 0.10}, {"20% of range", 0.20}};
+  const std::vector<double> range_fracs = {0.01, 0.03, 0.05};
+
+  std::printf("%-22s", "avg range size");
+  for (const Disc& d : discs) std::printf(" %14s", d.label);
+  std::puts("");
+
+  for (const double frac : range_fracs) {
+    const double mean_range = frac * 1'000'000 / 2.0;
+    std::printf("%-22.0f", mean_range);
+    for (const Disc& d : discs) {
+      ExperimentConfig cfg;
+      cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
+      cfg.nonselective_frac = frac;
+      cfg.discretization =
+          d.frac_of_mean_range == 0.0
+              ? 1
+              : static_cast<Value>(mean_range * d.frac_of_mean_range);
+      cfg.subscriptions = 1000;
+      cfg.publications = 0;
+      const ExperimentResult r = run_experiment(cfg);
+      std::printf(" %14.1f", r.hops_per_subscription);
+    }
+    std::puts("");
+  }
+  std::puts("\n(cell = one-hop messages per subscription)");
+  return 0;
+}

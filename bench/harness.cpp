@@ -1,0 +1,164 @@
+#include "harness.hpp"
+
+#include <fstream>
+
+#include "cbps/common/assert.hpp"
+#include "cbps/workload/driver.hpp"
+#include "cbps/workload/trace.hpp"
+
+namespace cbps::bench {
+
+using overlay::MessageClass;
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  pubsub::SystemConfig sys_cfg;
+  sys_cfg.nodes = cfg.nodes;
+  sys_cfg.seed = cfg.seed;
+  sys_cfg.chord.ring = RingParams{cfg.ring_bits};
+  sys_cfg.mapping = cfg.mapping;
+  sys_cfg.mapping_options.discretization = cfg.discretization;
+  sys_cfg.pubsub.sub_transport = cfg.sub_transport;
+  sys_cfg.pubsub.pub_transport = cfg.pub_transport;
+  sys_cfg.pubsub.buffering = cfg.buffering;
+  sys_cfg.pubsub.collecting = cfg.collecting;
+  sys_cfg.pubsub.buffer_period = cfg.buffer_period;
+  sys_cfg.pubsub.match_engine = cfg.match_engine;
+  sys_cfg.pubsub.replication_factor = cfg.replication_factor;
+
+  pubsub::Schema schema =
+      pubsub::Schema::uniform(cfg.dimensions, cfg.attr_max);
+  pubsub::PubSubSystem system(sys_cfg, schema);
+
+  workload::WorkloadParams wp;
+  wp.nonselective_range_frac = cfg.nonselective_frac;
+  wp.selective_range_frac = cfg.selective_frac;
+  wp.matching_probability = cfg.matching_probability;
+  wp.zipf_exponent = cfg.zipf_exponent;
+  wp.selective.assign(cfg.dimensions, false);
+  for (int i = 0; i < cfg.selective_attributes &&
+                  i < static_cast<int>(cfg.dimensions);
+       ++i) {
+    wp.selective[static_cast<std::size_t>(i)] = true;
+  }
+  workload::WorkloadGenerator gen(schema, wp, cfg.seed * 7919 + 17);
+
+  workload::DriverParams dp;
+  dp.sub_interval = cfg.sub_interval;
+  dp.pub_mean_interval_s = cfg.pub_mean_interval_s;
+  dp.sub_ttl = cfg.sub_ttl;
+  dp.max_subscriptions = cfg.subscriptions;
+  dp.max_publications = cfg.publications;
+  dp.event_locality = cfg.event_locality;
+
+  pubsub::DeliveryChecker checker;
+  ExperimentResult r;
+  if (!cfg.trace_replay_path.empty()) {
+    // Replay a recorded workload instead of generating one.
+    std::ifstream in(cfg.trace_replay_path);
+    CBPS_ASSERT_MSG(in.good(), "cannot open trace file");
+    std::string error;
+    const auto trace = workload::Trace::load(in, &error);
+    CBPS_ASSERT_MSG(trace.has_value(), error.c_str());
+    workload::TraceReplayer replayer(system, *trace);
+    replayer.start();
+    system.quiesce();
+    r.subscriptions_issued = trace->subscription_count();
+    r.publications_issued = trace->publication_count();
+  } else {
+    workload::Trace trace;
+    workload::Driver driver(
+        system, gen, dp, cfg.verify ? &checker : nullptr,
+        cfg.trace_save_path.empty() ? nullptr : &trace);
+    driver.start();
+    driver.run_to_completion();
+    r.subscriptions_issued = driver.subscriptions_issued();
+    r.publications_issued = driver.publications_issued();
+    if (!cfg.trace_save_path.empty()) {
+      std::ofstream out(cfg.trace_save_path);
+      CBPS_ASSERT_MSG(out.good(), "cannot write trace file");
+      trace.save(out);
+    }
+  }
+
+  const overlay::TrafficStats& traffic = system.traffic();
+  r.subscribe_hops = traffic.hops(MessageClass::kSubscribe);
+  r.publish_hops = traffic.hops(MessageClass::kPublish);
+  r.notify_hops = traffic.hops(MessageClass::kNotify);
+  r.collect_hops = traffic.hops(MessageClass::kCollect);
+  r.control_hops = traffic.hops(MessageClass::kControl);
+  r.notify_bytes = traffic.bytes(MessageClass::kNotify) +
+                   traffic.bytes(MessageClass::kCollect);
+  r.subscribe_bytes = traffic.bytes(MessageClass::kSubscribe);
+  r.notifications_delivered = system.notifications_delivered();
+
+  if (r.subscriptions_issued > 0) {
+    r.hops_per_subscription = static_cast<double>(r.subscribe_hops) /
+                              static_cast<double>(r.subscriptions_issued);
+  }
+  if (r.publications_issued > 0) {
+    r.hops_per_publication = static_cast<double>(r.publish_hops) /
+                             static_cast<double>(r.publications_issued);
+    r.notify_hops_per_publication =
+        static_cast<double>(r.notify_hops + r.collect_hops) /
+        static_cast<double>(r.publications_issued);
+  }
+  if (r.notifications_delivered > 0) {
+    r.hops_per_notification =
+        static_cast<double>(r.notify_hops + r.collect_hops) /
+        static_cast<double>(r.notifications_delivered);
+  }
+
+  const auto storage = system.storage_stats();
+  r.max_subs_per_node = storage.max_peak;
+  r.avg_subs_per_node = storage.avg_peak;
+
+  // Average end-to-end route length over all unicast classes.
+  double total_routes = 0, total_hops = 0;
+  for (MessageClass c : {MessageClass::kSubscribe, MessageClass::kPublish,
+                         MessageClass::kNotify}) {
+    const RunningStat& s = traffic.route_hops(c);
+    total_routes += static_cast<double>(s.count());
+    total_hops += s.sum();
+  }
+  if (total_routes > 0) r.avg_route_hops = total_hops / total_routes;
+
+  const RunningStat delay = system.notification_delay();
+  r.avg_notification_delay_s = delay.mean();
+  r.max_notification_delay_s = delay.max();
+
+  if (cfg.verify) {
+    const auto report = checker.verify();
+    r.verified = report.ok();
+    r.expected_deliveries = report.expected;
+    r.missing = report.missing;
+    r.duplicates = report.duplicates;
+    r.spurious = report.spurious;
+  }
+  return r;
+}
+
+std::string mapping_label(pubsub::MappingKind kind) {
+  switch (kind) {
+    case pubsub::MappingKind::kAttributeSplit:
+      return "M1 attribute-split";
+    case pubsub::MappingKind::kKeySpaceSplit:
+      return "M2 key-space-split";
+    case pubsub::MappingKind::kSelectiveAttribute:
+      return "M3 selective-attr";
+  }
+  return "?";
+}
+
+std::string transport_label(pubsub::PubSubConfig::Transport t) {
+  switch (t) {
+    case pubsub::PubSubConfig::Transport::kUnicast:
+      return "unicast";
+    case pubsub::PubSubConfig::Transport::kMulticast:
+      return "m-cast";
+    case pubsub::PubSubConfig::Transport::kChain:
+      return "chain";
+  }
+  return "?";
+}
+
+}  // namespace cbps::bench

@@ -1,0 +1,114 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Each figure binary builds an ExperimentConfig (defaults = §5.1), calls
+// run_experiment, and prints one table row per sweep point. All the
+// figures' metrics come from the same instrumented run: per-class hop
+// counts, per-request averages and stored-subscription statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cbps/pubsub/system.hpp"
+#include "cbps/workload/generator.hpp"
+
+namespace cbps::bench {
+
+struct ExperimentConfig {
+  // Topology (§5.1 defaults).
+  std::size_t nodes = 500;
+  unsigned ring_bits = 13;  // key space 2^13
+  std::uint64_t seed = 1;
+
+  // Pub/sub layer.
+  pubsub::MappingKind mapping = pubsub::MappingKind::kSelectiveAttribute;
+  pubsub::PubSubConfig::Transport sub_transport =
+      pubsub::PubSubConfig::Transport::kUnicast;
+  pubsub::PubSubConfig::Transport pub_transport =
+      pubsub::PubSubConfig::Transport::kUnicast;
+  bool buffering = false;
+  bool collecting = false;
+  sim::SimTime buffer_period = sim::sec(5);
+  Value discretization = 1;
+
+  // Workload (§5.1 defaults).
+  std::size_t dimensions = 4;
+  Value attr_max = 1'000'000;
+  int selective_attributes = 0;   // how many of the d attrs are selective
+  double nonselective_frac = 0.03;
+  double selective_frac = 0.001;
+  // Zipf exponent for selective-attribute centers. The paper does not
+  // state its value; 0.7 reproduces the reported Figure 6/8 shape
+  // (moderate popularity skew — with s=1 a single rank-1 hotspot
+  // dominates every mapping's max).
+  double zipf_exponent = 0.7;
+  double matching_probability = 0.5;
+  std::uint64_t subscriptions = 1000;
+  std::uint64_t publications = 1000;
+  sim::SimTime sub_interval = sim::sec(5);
+  double pub_mean_interval_s = 5.0;
+  sim::SimTime sub_ttl = sim::kSimTimeNever;  // expiration time
+  double event_locality = 0.0;  // §4.3.2 temporal locality of the stream
+
+  /// Track every operation in a DeliveryChecker and verify completeness /
+  /// exactly-once at the end of the run (slower; O(subs x pubs)).
+  bool verify = false;
+
+  /// Matching engine at the rendezvous nodes.
+  pubsub::MatchEngine match_engine = pubsub::MatchEngine::kBruteForce;
+
+  /// Subscription replication factor (§4.1).
+  std::size_t replication_factor = 0;
+
+  /// Record the generated workload to this file (empty = off).
+  std::string trace_save_path;
+  /// Replay a previously saved workload instead of generating one
+  /// (empty = generate). Overrides subscriptions/publications counts.
+  std::string trace_replay_path;
+};
+
+struct ExperimentResult {
+  // Per-request network cost (one-hop messages, §5 metric (a)).
+  double hops_per_subscription = 0;
+  double hops_per_publication = 0;
+  double hops_per_notification = 0;  // (notify + collect) / delivered
+  double notify_hops_per_publication = 0;
+
+  // Raw class totals.
+  std::uint64_t subscribe_hops = 0;
+  std::uint64_t publish_hops = 0;
+  std::uint64_t notify_hops = 0;
+  std::uint64_t collect_hops = 0;
+  std::uint64_t control_hops = 0;
+  std::uint64_t notify_bytes = 0;  // notify + collect classes
+  std::uint64_t subscribe_bytes = 0;
+
+  // Stored subscriptions (§5 metric (b)); peaks over the run.
+  std::size_t max_subs_per_node = 0;
+  double avg_subs_per_node = 0;
+
+  // Sanity.
+  std::uint64_t subscriptions_issued = 0;
+  std::uint64_t publications_issued = 0;
+  std::uint64_t notifications_delivered = 0;
+  double avg_route_hops = 0;  // mean end-to-end hops of unicast routes
+  double avg_notification_delay_s = 0;  // publish-to-notify latency
+  double max_notification_delay_s = 0;
+
+  // Populated when ExperimentConfig::verify is set.
+  bool verified = false;
+  std::uint64_t expected_deliveries = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t spurious = 0;
+};
+
+/// Run one simulated experiment to completion (all operations issued,
+/// network drained).
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// "attribute-split" -> "M1 attr-split", etc. (row labels).
+std::string mapping_label(pubsub::MappingKind kind);
+std::string transport_label(pubsub::PubSubConfig::Transport t);
+
+}  // namespace cbps::bench

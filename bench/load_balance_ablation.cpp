@@ -1,0 +1,65 @@
+// Ablation — load balancing via virtual nodes (§4.2's pointer to
+// "techniques at the level of KN-mapping": running several virtual
+// overlay nodes per physical host is Chord's own mechanism, Stoica et
+// al. §6). With one virtual node per host, the random id assignment
+// leaves some hosts covering arcs O(log n) times larger than average;
+// virtual nodes smooth the arcs and with them the subscription-storage
+// imbalance.
+#include <cstdio>
+
+#include "cbps/workload/driver.hpp"
+#include "harness.hpp"
+
+using namespace cbps;
+using namespace cbps::bench;
+
+namespace {
+
+struct Row {
+  std::size_t max_per_host = 0;
+  double avg_per_host = 0;
+};
+
+Row run(std::size_t hosts, std::size_t virtuals) {
+  pubsub::SystemConfig sys_cfg;
+  sys_cfg.nodes = hosts * virtuals;
+  sys_cfg.virtual_nodes_per_host = virtuals;
+  sys_cfg.seed = 13;
+  sys_cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
+  sys_cfg.pubsub.sub_transport =
+      pubsub::PubSubConfig::Transport::kMulticast;
+  pubsub::PubSubSystem system(sys_cfg,
+                              pubsub::Schema::uniform(4, 1'000'000));
+
+  workload::WorkloadGenerator gen(system.schema(), {}, 77);
+  workload::DriverParams dp;
+  dp.max_subscriptions = 5000;
+  dp.max_publications = 0;
+  workload::Driver driver(system, gen, dp);
+  driver.start();
+  driver.run_to_completion();
+
+  const auto st = system.host_storage_stats();
+  return {st.max_peak, st.avg_peak};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Load-balance ablation: virtual nodes per host ===");
+  std::puts("250 hosts, 5000 subscriptions, Mapping 3, no selective attrs;");
+  std::puts("cell = subscriptions stored per physical host\n");
+  std::printf("%18s %12s %12s %10s\n", "virtual nodes/host", "max/host",
+              "avg/host", "max/avg");
+  for (const std::size_t v : {1u, 2u, 4u, 8u}) {
+    const Row r = run(250, v);
+    std::printf("%18zu %12zu %12.1f %10.2f\n", v, r.max_per_host,
+                r.avg_per_host,
+                static_cast<double>(r.max_per_host) / r.avg_per_host);
+  }
+  std::puts("\nmore virtual nodes -> the max-to-average imbalance shrinks");
+  std::puts("toward 1. The trade-off: more (virtual) nodes split each");
+  std::puts("subscription's key range into more pieces, raising the");
+  std::puts("average (the same range-duplication effect as Figure 8).");
+  return 0;
+}

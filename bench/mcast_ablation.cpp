@@ -1,0 +1,143 @@
+// Ablation — §4.3.1's analysis of one-to-many propagation to a key
+// range: the native m-cast vs the aggressive unicast baseline (one
+// send() per key, in parallel) vs the conservative chain baseline
+// (ring-order walk).
+//
+// Expected shape (paper's analysis):
+//   m-cast:      O(log n + N) messages, O(log n) dilation
+//   aggressive:  Omega(x * log n) messages, O(log n) dilation
+//   chain:       O(log n + N) messages, O(log n + N) dilation
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cbps/chord/network.hpp"
+#include "cbps/sim/simulator.hpp"
+
+using namespace cbps;
+using namespace cbps::chord;
+
+namespace {
+
+struct ProbePayload final : overlay::Payload {
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kPublish;
+  }
+};
+
+struct CountingApp final : overlay::OverlayApp {
+  explicit CountingApp(sim::Simulator& sim) : sim_(sim) {}
+  void on_deliver(Key, const overlay::PayloadPtr&) override { note(); }
+  void on_deliver_mcast(std::span<const Key>,
+                        const overlay::PayloadPtr&) override {
+    note();
+  }
+  overlay::PayloadPtr export_state(Key, Key, bool) override {
+    return nullptr;
+  }
+  void import_state(const overlay::PayloadPtr&) override {}
+  void note() {
+    ++deliveries;
+    last_delivery = sim_.now();
+  }
+  sim::Simulator& sim_;
+  std::uint64_t deliveries = 0;
+  sim::SimTime last_delivery = 0;
+};
+
+struct Outcome {
+  std::uint64_t hops = 0;
+  std::uint64_t node_deliveries = 0;
+  double dilation_hops = 0;  // completion time / per-hop delay
+};
+
+enum class Mode { kMcast, kAggressiveUnicast, kChain };
+
+Outcome run(Mode mode, std::uint64_t range_keys, std::size_t n = 500) {
+  sim::Simulator sim;
+  ChordConfig cfg;
+  cfg.location_cache_size = 0;  // isolate the primitives from caching
+  cfg.owner_feedback = false;
+  ChordNetwork net(sim, cfg, 99);
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node("node-" + std::to_string(i));
+  }
+  net.build_static_ring();
+  std::vector<std::unique_ptr<CountingApp>> apps;
+  for (Key id : net.alive_ids()) {
+    apps.push_back(std::make_unique<CountingApp>(sim));
+    net.node(id)->set_app(apps.back().get());
+  }
+
+  std::vector<Key> keys;
+  keys.reserve(range_keys);
+  for (std::uint64_t i = 0; i < range_keys; ++i) {
+    keys.push_back(net.ring().wrap(1000 + i));
+  }
+
+  ChordNode& src = net.alive_node(n / 2);
+  const auto payload = std::make_shared<ProbePayload>();
+  const sim::SimTime start = sim.now();
+  switch (mode) {
+    case Mode::kMcast:
+      src.m_cast(keys, payload);
+      break;
+    case Mode::kAggressiveUnicast:
+      for (Key k : keys) src.send(k, payload);
+      break;
+    case Mode::kChain:
+      src.chain_cast(keys, payload);
+      break;
+  }
+  sim.run();
+
+  Outcome out;
+  out.hops = net.traffic().hops(overlay::MessageClass::kPublish);
+  sim::SimTime last = start;
+  for (const auto& app : apps) {
+    if (app->deliveries > 0) {
+      ++out.node_deliveries;  // counts nodes reached
+      if (app->last_delivery > last) last = app->last_delivery;
+    }
+  }
+  out.dilation_hops = static_cast<double>(last - start) /
+                      static_cast<double>(sim::ms(50));
+  return out;
+}
+
+const char* mode_label(Mode m) {
+  switch (m) {
+    case Mode::kMcast:
+      return "m-cast";
+    case Mode::kAggressiveUnicast:
+      return "aggressive";
+    case Mode::kChain:
+      return "chain";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== m-cast ablation: one-to-many to a key range, n=500 ===");
+  std::puts("(cache disabled; dilation = completion time in hop units)\n");
+  std::printf("%10s %-12s %10s %12s %10s\n", "range keys", "primitive",
+              "hops", "nodes hit", "dilation");
+  for (const std::uint64_t range : {64u, 256u, 1024u, 4096u}) {
+    for (const Mode mode :
+         {Mode::kMcast, Mode::kAggressiveUnicast, Mode::kChain}) {
+      const Outcome o = run(mode, range);
+      std::printf("%10llu %-12s %10llu %12llu %10.0f\n",
+                  static_cast<unsigned long long>(range), mode_label(mode),
+                  static_cast<unsigned long long>(o.hops),
+                  static_cast<unsigned long long>(o.node_deliveries),
+                  o.dilation_hops);
+    }
+    std::puts("");
+  }
+  std::puts("m-cast matches the aggressive baseline's O(log n) dilation at");
+  std::puts("the chain baseline's O(log n + N) message cost — the best of");
+  std::puts("both, as §4.3.1 argues.");
+  return 0;
+}

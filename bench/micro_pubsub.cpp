@@ -1,0 +1,180 @@
+// Micro-benchmarks (google-benchmark) for the compute-bound pieces of
+// the library: the scaling hash, SK/EK mapping computation, matching,
+// store maintenance and SHA-1.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "cbps/common/sha1.hpp"
+#include "cbps/pubsub/mapping.hpp"
+#include "cbps/pubsub/store.hpp"
+#include "cbps/workload/generator.hpp"
+
+namespace {
+
+using namespace cbps;
+
+pubsub::Schema paper_schema() {
+  return pubsub::Schema::uniform(4, 1'000'000);
+}
+
+pubsub::MappingKind kind_from_arg(std::int64_t arg) {
+  switch (arg) {
+    case 0:
+      return pubsub::MappingKind::kAttributeSplit;
+    case 1:
+      return pubsub::MappingKind::kKeySpaceSplit;
+    default:
+      return pubsub::MappingKind::kSelectiveAttribute;
+  }
+}
+
+void BM_SubscriptionKeys(benchmark::State& state) {
+  const auto schema = paper_schema();
+  auto mapping = pubsub::make_mapping(kind_from_arg(state.range(0)), schema,
+                                      RingParams{13});
+  workload::WorkloadGenerator gen(schema, {}, 42);
+  std::vector<pubsub::Subscription> subs;
+  for (int i = 0; i < 256; ++i) {
+    pubsub::Subscription s;
+    s.id = static_cast<SubscriptionId>(i + 1);
+    s.constraints = gen.make_constraints();
+    subs.push_back(std::move(s));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapping->subscription_keys(subs[i++ % subs.size()]));
+  }
+  state.SetLabel(std::string(pubsub::to_string(kind_from_arg(state.range(0)))));
+}
+BENCHMARK(BM_SubscriptionKeys)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EventKeys(benchmark::State& state) {
+  const auto schema = paper_schema();
+  auto mapping = pubsub::make_mapping(kind_from_arg(state.range(0)), schema,
+                                      RingParams{13});
+  workload::WorkloadGenerator gen(schema, {}, 43);
+  std::vector<pubsub::Event> events;
+  for (int i = 0; i < 256; ++i) {
+    pubsub::Event e;
+    e.id = static_cast<EventId>(i + 1);
+    e.values = gen.make_random_values();
+    events.push_back(std::move(e));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping->event_keys(events[i++ % events.size()]));
+  }
+  state.SetLabel(std::string(pubsub::to_string(kind_from_arg(state.range(0)))));
+}
+BENCHMARK(BM_EventKeys)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MatchAgainstStore(benchmark::State& state) {
+  const auto schema = paper_schema();
+  workload::WorkloadGenerator gen(schema, {}, 44);
+  pubsub::SubscriptionStore store;
+  const auto n_subs = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    auto s = std::make_shared<pubsub::Subscription>();
+    s->id = static_cast<SubscriptionId>(i + 1);
+    s->constraints = gen.make_constraints();
+    store.insert({std::move(s), sim::kSimTimeNever, {}, false});
+  }
+  pubsub::Event e;
+  e.id = 1;
+  for (auto _ : state) {
+    e.values = gen.make_random_values();
+    benchmark::DoNotOptimize(store.match(e, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MatchAgainstStore)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MatchCountingIndex(benchmark::State& state) {
+  const auto schema = paper_schema();
+  workload::WorkloadGenerator gen(schema, {}, 44);
+  pubsub::SubscriptionStore store;
+  store.use_counting_index(schema);
+  const auto n_subs = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    auto s = std::make_shared<pubsub::Subscription>();
+    s->id = static_cast<SubscriptionId>(i + 1);
+    s->constraints = gen.make_constraints();
+    store.insert({std::move(s), sim::kSimTimeNever, {}, false});
+  }
+  pubsub::Event e;
+  e.id = 1;
+  for (auto _ : state) {
+    e.values = gen.make_random_values();
+    benchmark::DoNotOptimize(store.match(e, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MatchCountingIndex)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_StoreInsertEraseChurn(benchmark::State& state) {
+  const auto schema = paper_schema();
+  workload::WorkloadGenerator gen(schema, {}, 45);
+  std::vector<pubsub::SubscriptionPtr> subs;
+  for (int i = 0; i < 4096; ++i) {
+    auto s = std::make_shared<pubsub::Subscription>();
+    s->id = static_cast<SubscriptionId>(i + 1);
+    s->constraints = gen.make_constraints();
+    subs.push_back(std::move(s));
+  }
+  pubsub::SubscriptionStore store;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = subs[i % subs.size()];
+    store.insert({s, sim::sec(i + 1), {}, false});
+    if (i >= 1024) store.remove(subs[(i - 1024) % subs.size()]->id);
+    ++i;
+  }
+}
+BENCHMARK(BM_StoreInsertEraseChurn);
+
+void BM_ExpirySweep(benchmark::State& state) {
+  const auto schema = paper_schema();
+  workload::WorkloadGenerator gen(schema, {}, 46);
+  for (auto _ : state) {
+    state.PauseTiming();
+    pubsub::SubscriptionStore store;
+    for (int i = 0; i < 1000; ++i) {
+      auto s = std::make_shared<pubsub::Subscription>();
+      s->id = static_cast<SubscriptionId>(i + 1);
+      s->constraints = gen.make_constraints();
+      store.insert({std::move(s), sim::sec(static_cast<std::uint64_t>(i)),
+                    {}, false});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.sweep_expired(sim::sec(1000)));
+  }
+}
+BENCHMARK(BM_ExpirySweep);
+
+void BM_Sha1(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbps::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(4096);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(47);
+  ZipfSampler zipf(1'000'000, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// Ablation — overlay portability (§3.1 footnote 1): the same CB-pub/sub
+// layer and workload running over the Chord substrate and over the
+// Pastry-style prefix-routing substrate. Compares per-request hop costs.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cbps/chord/network.hpp"
+#include "cbps/pastry/pastry.hpp"
+#include "cbps/pubsub/node.hpp"
+#include "cbps/sim/simulator.hpp"
+#include "cbps/workload/generator.hpp"
+
+using namespace cbps;
+
+namespace {
+
+struct Result {
+  double hops_per_sub = 0;
+  double hops_per_pub = 0;
+  double hops_per_notif = 0;
+  std::uint64_t notifications = 0;
+};
+
+// Drive the identical workload over any pair of (nodes, traffic stats).
+template <typename MakeNode>
+Result drive(sim::Simulator& sim, const std::vector<Key>& ids,
+             MakeNode&& node_of, overlay::TrafficStats& traffic,
+             pubsub::MappingKind kind,
+             pubsub::PubSubConfig::Transport transport) {
+  const pubsub::Schema schema = pubsub::Schema::uniform(4, 1'000'000);
+  const auto mapping = pubsub::make_mapping(kind, schema, RingParams{13});
+
+  pubsub::PubSubConfig pcfg;
+  pcfg.sub_transport = transport;
+  pcfg.pub_transport = transport;
+
+  std::vector<std::unique_ptr<pubsub::PubSubNode>> nodes;
+  for (Key id : ids) {
+    nodes.push_back(std::make_unique<pubsub::PubSubNode>(node_of(id), sim,
+                                                         *mapping, pcfg));
+  }
+  std::uint64_t delivered = 0;
+  for (auto& n : nodes) {
+    n->set_notify_sink(
+        [&delivered](Key, const pubsub::Notification&) { ++delivered; });
+  }
+
+  workload::WorkloadGenerator gen(schema, {}, 424242);
+  std::vector<pubsub::SubscriptionPtr> active;
+  const std::uint64_t kSubs = 400;
+  const std::uint64_t kPubs = 400;
+  SubscriptionId next_sub = 1;
+  EventId next_event = 1;
+  for (std::uint64_t i = 0; i < kSubs; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        gen.rng().uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+    auto sub = std::make_shared<pubsub::Subscription>();
+    sub->id = next_sub++;
+    sub->subscriber = ids[idx];
+    sub->constraints = gen.make_constraints();
+    nodes[idx]->subscribe(sub);
+    active.push_back(std::move(sub));
+    sim.run_until(sim.now() + sim::sec(5));
+  }
+  for (std::uint64_t i = 0; i < kPubs; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        gen.rng().uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+    auto event = std::make_shared<pubsub::Event>();
+    event->id = next_event++;
+    event->values = gen.make_event_values(active);
+    nodes[idx]->publish(std::move(event));
+    sim.run_until(sim.now() + sim::sec(5));
+  }
+  sim.run();
+
+  Result r;
+  r.hops_per_sub =
+      static_cast<double>(traffic.hops(overlay::MessageClass::kSubscribe)) /
+      static_cast<double>(kSubs);
+  r.hops_per_pub =
+      static_cast<double>(traffic.hops(overlay::MessageClass::kPublish)) /
+      static_cast<double>(kPubs);
+  r.notifications = delivered;
+  if (delivered > 0) {
+    r.hops_per_notif =
+        static_cast<double>(traffic.hops(overlay::MessageClass::kNotify)) /
+        static_cast<double>(delivered);
+  }
+  return r;
+}
+
+Result run_chord(pubsub::MappingKind kind,
+                 pubsub::PubSubConfig::Transport transport) {
+  sim::Simulator sim;
+  chord::ChordConfig cfg;
+  chord::ChordNetwork net(sim, cfg, 11);
+  for (int i = 0; i < 200; ++i) net.add_node("c" + std::to_string(i));
+  net.build_static_ring();
+  return drive(
+      sim, net.alive_ids(),
+      [&net](Key id) -> overlay::OverlayNode& { return *net.node(id); },
+      net.traffic(), kind, transport);
+}
+
+Result run_pastry(pubsub::MappingKind kind,
+                  pubsub::PubSubConfig::Transport transport) {
+  sim::Simulator sim;
+  pastry::PastryConfig cfg;
+  pastry::PastryNetwork net(sim, cfg, 11);
+  for (int i = 0; i < 200; ++i) net.add_node("c" + std::to_string(i));
+  net.build_static_ring();
+  return drive(
+      sim, net.ids(),
+      [&net](Key id) -> overlay::OverlayNode& { return *net.node(id); },
+      net.traffic(), kind, transport);
+}
+
+}  // namespace
+
+int main() {
+  using Transport = pubsub::PubSubConfig::Transport;
+  std::puts("=== Overlay portability: identical pub/sub layer + workload ===");
+  std::puts("n=200, 400 subs + 400 pubs, paper workload; Chord has the");
+  std::puts("location cache, Pastry is pure prefix routing\n");
+  std::printf("%-20s %-9s %-8s %10s %10s %12s %8s\n", "mapping", "transport",
+              "overlay", "hops/sub", "hops/pub", "hops/notif", "notifs");
+
+  struct Case {
+    pubsub::MappingKind kind;
+    Transport transport;
+    const char* label;
+  };
+  const Case cases[] = {
+      {pubsub::MappingKind::kSelectiveAttribute, Transport::kUnicast,
+       "M3 selective-attr"},
+      {pubsub::MappingKind::kSelectiveAttribute, Transport::kMulticast,
+       "M3 selective-attr"},
+      {pubsub::MappingKind::kKeySpaceSplit, Transport::kUnicast,
+       "M2 key-space-split"},
+  };
+  for (const Case& c : cases) {
+    const char* tname =
+        c.transport == Transport::kUnicast ? "unicast" : "m-cast";
+    const Result chord_r = run_chord(c.kind, c.transport);
+    std::printf("%-20s %-9s %-8s %10.1f %10.2f %12.2f %8llu\n", c.label,
+                tname, "chord", chord_r.hops_per_sub, chord_r.hops_per_pub,
+                chord_r.hops_per_notif,
+                static_cast<unsigned long long>(chord_r.notifications));
+    const Result pastry_r = run_pastry(c.kind, c.transport);
+    std::printf("%-20s %-9s %-8s %10.1f %10.2f %12.2f %8llu\n", c.label,
+                tname, "pastry", pastry_r.hops_per_sub,
+                pastry_r.hops_per_pub, pastry_r.hops_per_notif,
+                static_cast<unsigned long long>(pastry_r.notifications));
+  }
+  std::puts("\nthe identical notification counts confirm the layer is");
+  std::puts("overlay-agnostic; hop differences reflect the substrates'");
+  std::puts("routing (cached Chord vs pure prefix routing).");
+  return 0;
+}

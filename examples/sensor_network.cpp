@@ -1,0 +1,109 @@
+// Sensor-network example: Selective-Attribute mapping + discretization.
+//
+// A field of sensors publishes readings tagged with a region id; consumer
+// dashboards subscribe to one region (a highly selective equality
+// constraint) with loose value filters. This is exactly the workload
+// Mapping 3 is designed for (§4.2: "equality constraints on attributes
+// such as 'type' or 'topic'"), and the subscriptions' wide value ranges
+// show what discretization (§4.3.3) buys.
+//
+//   $ ./examples/sensor_network
+#include <cstdio>
+
+#include "cbps/common/rng.hpp"
+#include "cbps/pubsub/system.hpp"
+
+using namespace cbps;
+
+namespace {
+
+pubsub::Schema sensor_schema() {
+  return pubsub::Schema({
+      {"region", {0, 9'999}},
+      {"temperature_mC", {-40'000, 60'000}},  // millidegrees
+      {"battery_mV", {0, 5'000}},
+  });
+}
+
+struct RunResult {
+  std::uint64_t sub_hops = 0;
+  std::uint64_t notifications = 0;
+  double max_subs_per_node = 0;
+};
+
+RunResult run(Value discretization) {
+  pubsub::SystemConfig cfg;
+  cfg.nodes = 200;
+  cfg.seed = 31;
+  cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
+  cfg.mapping_options.discretization = discretization;
+  cfg.pubsub.sub_transport = pubsub::PubSubConfig::Transport::kUnicast;
+
+  pubsub::PubSubSystem system(cfg, sensor_schema());
+  Rng rng(5);
+
+  // 150 regional dashboards: "region == R, temperature in a broad band".
+  // The equality constraint is the selective attribute, so each maps to
+  // a single rendezvous key.
+  for (int i = 0; i < 150; ++i) {
+    const auto node = static_cast<std::size_t>(rng.uniform_int(0, 199));
+    const Value region = rng.uniform_int(0, 99);
+    const Value t_lo = rng.uniform_int(-40'000, 20'000);
+    system.subscribe(node, {
+        {0, ClosedInterval::point(region)},
+        {1, {t_lo, t_lo + 30'000}},
+    });
+  }
+  // 150 fleet-wide anomaly watchers: temperature band only (partially
+  // defined subscriptions). Their wide value range maps to a long run of
+  // rendezvous keys — exactly what discretization (§4.3.3) compresses.
+  for (int i = 0; i < 150; ++i) {
+    const auto node = static_cast<std::size_t>(rng.uniform_int(0, 199));
+    const Value t_lo = rng.uniform_int(30'000, 50'000);  // heat anomalies
+    system.subscribe(node, {
+        {1, {t_lo, t_lo + 8'000}},
+    });
+  }
+  system.run_for(sim::sec(10));
+  const std::uint64_t sub_hops =
+      system.traffic().hops(overlay::MessageClass::kSubscribe);
+
+  // 500 sensor readings across the regions.
+  for (int i = 0; i < 500; ++i) {
+    const auto node = static_cast<std::size_t>(rng.uniform_int(0, 199));
+    system.publish(node, {rng.uniform_int(0, 99),
+                          rng.uniform_int(-40'000, 60'000),
+                          rng.uniform_int(2'000, 5'000)});
+    system.run_for(sim::ms(100));
+  }
+  system.quiesce();
+
+  RunResult r;
+  r.sub_hops = sub_hops;
+  r.notifications = system.notifications_delivered();
+  r.max_subs_per_node =
+      static_cast<double>(system.storage_stats().max_peak);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("sensor network: 200 nodes, 150 region dashboards +");
+  std::puts("150 fleet-wide anomaly watchers, 500 readings");
+  std::puts("mapping: Selective-Attribute, three discretization settings\n");
+
+  std::printf("%-26s %12s %16s %14s\n", "discretization", "sub hops",
+              "max subs/node", "notifications");
+  for (Value w : {Value{1}, Value{800}, Value{1600}}) {
+    const RunResult r = run(w);
+    std::printf("%-26lld %12llu %16.0f %14llu\n",
+                static_cast<long long>(w),
+                static_cast<unsigned long long>(r.sub_hops),
+                r.max_subs_per_node,
+                static_cast<unsigned long long>(r.notifications));
+  }
+  std::puts("\ncoarser discretization cuts subscription-propagation hops");
+  std::puts("while every matching reading is still delivered.");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Tunables of the Chord substrate.
+#pragma once
+
+#include <cstddef>
+
+#include "cbps/common/ring.hpp"
+#include "cbps/sim/time.hpp"
+
+namespace cbps::chord {
+
+struct ChordConfig {
+  /// Identifier circle: keys are `ring.bits()`-bit values. The paper's
+  /// simulations use a key space of size 2^13 (§5.1).
+  RingParams ring{13};
+
+  /// Length of the successor list kept for failure resilience.
+  std::size_t successor_list_size = 4;
+
+  /// Capacity of the per-node location cache ("finger caching", §5.1:
+  /// the cache is why the average route takes ~2.5 hops at n=500 instead
+  /// of log n). 0 disables caching.
+  std::size_t location_cache_size = 128;
+
+  /// Whether the owner of a routed key reports itself back to the route
+  /// origin (feeds the origin's location cache; sent as control traffic).
+  bool owner_feedback = true;
+
+  /// Period of the stabilize / fix-fingers / check-predecessor loop.
+  /// 0 disables periodic maintenance (static topologies built by the
+  /// network harness don't need it).
+  sim::SimTime stabilize_period = sim::sec(30);
+
+  /// Routing messages are dropped after this many hops (protection
+  /// against transient routing loops while the ring converges).
+  std::uint32_t max_route_hops = 512;
+};
+
+}  // namespace cbps::chord

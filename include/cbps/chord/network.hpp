@@ -1,0 +1,108 @@
+// Simulation-side container for a Chord ring.
+//
+// Owns the nodes, the clock's view of the "wire" (latency + hop
+// accounting), liveness, and a ground-truth key->node oracle used both to
+// build static topologies and to verify routing in tests.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cbps/chord/config.hpp"
+#include "cbps/chord/node.hpp"
+#include "cbps/chord/wire.hpp"
+#include "cbps/metrics/registry.hpp"
+#include "cbps/overlay/payload.hpp"
+#include "cbps/sim/latency.hpp"
+#include "cbps/sim/simulator.hpp"
+
+namespace cbps::chord {
+
+class ChordNetwork {
+ public:
+  ChordNetwork(sim::Simulator& sim, ChordConfig cfg, std::uint64_t seed,
+               std::unique_ptr<sim::LatencyModel> latency = nullptr);
+  ~ChordNetwork();
+
+  ChordNetwork(const ChordNetwork&) = delete;
+  ChordNetwork& operator=(const ChordNetwork&) = delete;
+
+  // --- membership -------------------------------------------------------
+  /// Create a node whose identifier is the consistent hash of `name`
+  /// (salted on the rare id collision). The node is alive but not wired
+  /// into the ring until build_static_ring() or begin_join().
+  ChordNode& add_node(const std::string& name);
+
+  /// Create a node with an explicit identifier (tests).
+  ChordNode& add_node_with_id(Key id, std::string name);
+
+  /// Install exact predecessor/successor/finger state on every alive
+  /// node (equivalent to running the join + stabilization protocols to
+  /// quiescence; what benches use).
+  void build_static_ring();
+
+  /// Dynamically join a new node through `bootstrap` using the message
+  /// protocol. Returns the joining node.
+  ChordNode& join_node(const std::string& name, Key bootstrap);
+
+  /// Graceful departure with state handover.
+  void leave_gracefully(Key id);
+
+  /// Abrupt failure: the node simply stops responding.
+  void crash(Key id);
+
+  // --- lookup / iteration ------------------------------------------------
+  bool is_alive(Key id) const { return alive_.contains(id); }
+  ChordNode* node(Key id);
+  const ChordNode* node(Key id) const;
+
+  std::size_t alive_count() const { return alive_.size(); }
+  /// Sorted identifiers of alive nodes.
+  std::vector<Key> alive_ids() const;
+  /// Alive node by dense index (0 <= i < alive_count()), in id order.
+  ChordNode& alive_node(std::size_t i);
+
+  /// Ground truth: the node that covers `key` (the successor of `key`
+  /// among alive ring members).
+  Key oracle_successor(Key key) const;
+
+  /// Start periodic maintenance on every alive node.
+  void start_maintenance_all();
+
+  // --- wire ---------------------------------------------------------------
+  /// Deliver `msg` from `from` to `to` after one network latency sample.
+  /// Returns false without sending if `to` is not alive (models a failed
+  /// connection attempt; the caller should evict the peer and retry).
+  bool transmit(Key from, Key to, WireMessage msg,
+                overlay::MessageClass cls);
+
+  /// Schedule a zero-latency local action (self-deliveries are
+  /// asynchronous but free).
+  void self_deliver(std::function<void()> action);
+
+  // --- environment ---------------------------------------------------------
+  sim::Simulator& sim() { return sim_; }
+  Rng& rng() { return rng_; }
+  overlay::TrafficStats& traffic() { return traffic_; }
+  const overlay::TrafficStats& traffic() const { return traffic_; }
+  metrics::Registry& registry() { return registry_; }
+  const ChordConfig& config() const { return cfg_; }
+  RingParams ring() const { return cfg_.ring; }
+
+ private:
+  sim::Simulator& sim_;
+  ChordConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<sim::LatencyModel> latency_;
+  overlay::TrafficStats traffic_;
+  metrics::Registry registry_;
+
+  std::map<Key, std::unique_ptr<ChordNode>> nodes_;  // includes dead nodes
+  std::set<Key> alive_;
+};
+
+}  // namespace cbps::chord

@@ -1,0 +1,144 @@
+// A Chord node: key routing, the m-cast primitive, maintenance protocols.
+//
+// Implements the overlay::OverlayNode interface the CB-pub/sub layer is
+// written against. All inter-node communication goes through
+// ChordNetwork::transmit, which applies latency and hop accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cbps/chord/config.hpp"
+#include "cbps/chord/finger_table.hpp"
+#include "cbps/chord/location_cache.hpp"
+#include "cbps/chord/wire.hpp"
+#include "cbps/overlay/node.hpp"
+#include "cbps/sim/simulator.hpp"
+
+namespace cbps::chord {
+
+class ChordNetwork;
+
+class ChordNode final : public overlay::OverlayNode {
+ public:
+  ChordNode(ChordNetwork& net, Key id, std::string name);
+
+  ChordNode(const ChordNode&) = delete;
+  ChordNode& operator=(const ChordNode&) = delete;
+
+  // --- overlay::OverlayNode -------------------------------------------
+  Key id() const override { return id_; }
+  RingParams ring() const override;
+  void send(Key key, overlay::PayloadPtr payload) override;
+  void m_cast(std::vector<Key> keys, overlay::PayloadPtr payload) override;
+  void chain_cast(std::vector<Key> keys,
+                  overlay::PayloadPtr payload) override;
+  void send_to_successor(overlay::PayloadPtr payload) override;
+  void send_to_predecessor(overlay::PayloadPtr payload) override;
+  Key successor_id() const override {
+    return succs_.empty() ? id_ : succs_.front();
+  }
+  Key predecessor_id() const override { return has_pred_ ? pred_ : id_; }
+  void set_app(overlay::OverlayApp* app) override { app_ = app; }
+
+  // --- identity / introspection ---------------------------------------
+  const std::string& name() const { return name_; }
+  overlay::OverlayApp* app() const { return app_; }
+
+  /// Whether this node covers key `k`, i.e. k in (pred, id]. A node with
+  /// no known predecessor accepts everything routed to it (routing is
+  /// then authoritative).
+  bool covers(Key k) const;
+
+  std::optional<Key> predecessor() const {
+    return has_pred_ ? std::optional<Key>(pred_) : std::nullopt;
+  }
+  const std::vector<Key>& successor_list() const { return succs_; }
+  const FingerTable& finger_table() const { return fingers_; }
+  const LocationCache& location_cache() const { return cache_; }
+
+  // --- ring membership (driven by ChordNetwork) ------------------------
+  /// Install exact routing state (static topology construction).
+  void install_state(std::optional<Key> pred, std::vector<Key> succs,
+                     std::vector<Key> finger_nodes);
+
+  /// Start the dynamic join protocol via a bootstrap node.
+  void begin_join(Key bootstrap);
+
+  /// Hand state to the successor, tell neighbors, and go offline.
+  void leave_gracefully();
+
+  /// Enable/disable the periodic stabilize/fix-fingers/check-pred loop.
+  void start_maintenance();
+  void stop_maintenance();
+
+  /// Entry point for messages arriving from the network.
+  void receive(Envelope env);
+
+ private:
+  const ChordConfig& config() const;
+
+  // Transmission helper: returns false (and evicts `to` from all local
+  // state) when the peer is dead.
+  bool transmit(Key to, WireMessage msg, overlay::MessageClass cls);
+  void on_peer_dead(Key peer);
+
+  /// Best next hop toward `key` among successors, fingers, predecessor
+  /// and the location cache; nullopt when this node covers `key` or has
+  /// no live candidate.
+  std::optional<Key> next_hop(Key key) const;
+  std::optional<Key> closest_preceding(Key key) const;
+
+  // Message handlers.
+  void handle_route(RouteMsg msg);
+  void deliver_route(const RouteMsg& msg);
+  void forward_route(RouteMsg msg);
+  void handle_mcast(McastMsg msg);
+  void run_mcast(std::vector<Key> keys, const overlay::PayloadPtr& payload,
+                 std::uint32_t hops, bool initiator);
+  void handle_chain(ChainMsg msg);
+  void run_chain(std::vector<Key> keys, const overlay::PayloadPtr& payload,
+                 std::uint32_t hops, bool initiator);
+  void forward_chain(ChainMsg msg);
+  void handle_find_successor(FindSuccessorReq msg);
+  void handle_find_successor_reply(const FindSuccessorReply& msg);
+  void handle_get_neighbors(const GetNeighborsReq& msg);
+  void handle_get_neighbors_reply(const GetNeighborsReply& msg, Key from);
+  void handle_notify_pred(Key candidate);
+  void handle_pull_state(const PullStateReq& msg);
+  void handle_pred_leave(const PredLeaveMsg& msg, Key from);
+  void handle_succ_leave(const SuccLeaveMsg& msg, Key from);
+
+  // Maintenance.
+  void maintenance_tick();
+  void stabilize();
+  void fix_fingers();
+  void check_predecessor();
+  void adopt_predecessor(Key candidate);
+  void set_successor_front(Key s);
+
+  ChordNetwork& net_;
+  Key id_;
+  std::string name_;
+  overlay::OverlayApp* app_ = nullptr;
+
+  bool has_pred_ = false;
+  Key pred_ = 0;
+  std::vector<Key> succs_;  // nearest first; never contains id_
+  FingerTable fingers_;
+  LocationCache cache_;
+
+  bool joining_ = false;
+  Key join_bootstrap_ = 0;
+  sim::Simulator::TimerId maintenance_timer_ = 0;
+
+  // fix_fingers bookkeeping: req_id -> finger index.
+  std::uint64_t next_req_id_ = 1;
+  std::unordered_map<std::uint64_t, std::size_t> pending_finger_fixes_;
+  static constexpr std::uint64_t kJoinReqId = ~std::uint64_t{0};
+};
+
+}  // namespace cbps::chord

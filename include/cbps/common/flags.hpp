@@ -1,0 +1,60 @@
+// Minimal command-line flag parsing for the tools and benches.
+//
+// Supports --name=value and --name value; bool flags may be given bare
+// (--verbose) or explicit (--verbose=false). -h/--help prints usage.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cbps {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string description)
+      : description_(std::move(description)) {}
+
+  void add(const std::string& name, const std::string& help, bool* target) {
+    flags_.push_back({name, help, target});
+  }
+  void add(const std::string& name, const std::string& help,
+           std::int64_t* target) {
+    flags_.push_back({name, help, target});
+  }
+  void add(const std::string& name, const std::string& help,
+           double* target) {
+    flags_.push_back({name, help, target});
+  }
+  void add(const std::string& name, const std::string& help,
+           std::string* target) {
+    flags_.push_back({name, help, target});
+  }
+
+  /// Parse argv. Returns false (after printing usage or an error) if the
+  /// program should exit.
+  bool parse(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err);
+
+  void print_help(std::ostream& os) const;
+
+ private:
+  using Target =
+      std::variant<bool*, std::int64_t*, double*, std::string*>;
+  struct Flag {
+    std::string name;
+    std::string help;
+    Target target;
+  };
+
+  const Flag* find(const std::string& name) const;
+  static bool assign(const Flag& flag, const std::string& value,
+                     std::ostream& err);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace cbps

@@ -1,0 +1,21 @@
+// Key derivation: consistent hashing of names and values into the ring.
+#pragma once
+
+#include <string_view>
+
+#include "cbps/common/ring.hpp"
+#include "cbps/common/sha1.hpp"
+#include "cbps/common/types.hpp"
+
+namespace cbps {
+
+/// Consistent-hash an arbitrary string into the m-bit key space by taking
+/// the leading 64 bits of its SHA-1 digest (big-endian) and reducing
+/// modulo 2^m. This is how node identifiers are assigned (paper §3.1.1).
+Key consistent_hash(std::string_view name, RingParams ring);
+
+/// Hash a 64-bit integer the same way (used to reduce string attribute
+/// values to numbers, paper §3.2 footnote 2).
+Key consistent_hash(std::uint64_t v, RingParams ring);
+
+}  // namespace cbps

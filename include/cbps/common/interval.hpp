@@ -1,0 +1,57 @@
+// Closed integer intervals over attribute domains.
+//
+// A subscription constraint "lo <= a_i <= hi" is a ClosedInterval; the
+// mapping layer turns value intervals into key intervals. These are plain
+// (non-modular) intervals — ring intervals live in ring.hpp.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+
+#include "cbps/common/assert.hpp"
+#include "cbps/common/types.hpp"
+
+namespace cbps {
+
+/// Closed interval [lo, hi] over Value, lo <= hi.
+struct ClosedInterval {
+  Value lo = 0;
+  Value hi = 0;
+
+  constexpr ClosedInterval() = default;
+  constexpr ClosedInterval(Value l, Value h) : lo(l), hi(h) {
+    CBPS_ASSERT_MSG(l <= h, "interval bounds inverted");
+  }
+
+  static constexpr ClosedInterval point(Value v) { return {v, v}; }
+
+  constexpr bool contains(Value v) const { return lo <= v && v <= hi; }
+
+  /// Number of integer values in the interval.
+  constexpr std::uint64_t width() const {
+    return static_cast<std::uint64_t>(hi - lo) + 1;
+  }
+
+  constexpr bool overlaps(const ClosedInterval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+
+  /// Intersection, or nullopt when disjoint.
+  constexpr std::optional<ClosedInterval> intersect(
+      const ClosedInterval& o) const {
+    const Value l = std::max(lo, o.lo);
+    const Value h = std::min(hi, o.hi);
+    if (l > h) return std::nullopt;
+    return ClosedInterval{l, h};
+  }
+
+  friend constexpr bool operator==(const ClosedInterval&,
+                                   const ClosedInterval&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ClosedInterval& i) {
+  return os << '[' << i.lo << ", " << i.hi << ']';
+}
+
+}  // namespace cbps

@@ -1,0 +1,66 @@
+// Minimal leveled logger.
+//
+// Simulation runs are chatty at debug level and silent by default; the
+// logger is a global singleton so examples can flip verbosity with one
+// call. Not thread-safe by design — the simulator is single-threaded.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace cbps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace cbps
+
+#define CBPS_LOG(level)                                      \
+  if (!::cbps::Logger::instance().enabled(level)) {          \
+  } else                                                     \
+    ::cbps::detail::LogLine(level)
+
+#define CBPS_LOG_DEBUG CBPS_LOG(::cbps::LogLevel::kDebug)
+#define CBPS_LOG_INFO CBPS_LOG(::cbps::LogLevel::kInfo)
+#define CBPS_LOG_WARN CBPS_LOG(::cbps::LogLevel::kWarn)
+#define CBPS_LOG_ERROR CBPS_LOG(::cbps::LogLevel::kError)

@@ -1,0 +1,94 @@
+// Modular arithmetic on the Chord identifier circle.
+//
+// All keys live on a ring of size 2^m ("the Chord ring", paper §3.1.1).
+// Interval-membership tests on the ring are the single most error-prone
+// piece of any Chord implementation, so they are centralized here and
+// covered by exhaustive property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "cbps/common/assert.hpp"
+#include "cbps/common/types.hpp"
+
+namespace cbps {
+
+/// Parameters of the identifier circle: keys are m-bit values,
+/// 1 <= m <= 63.
+class RingParams {
+ public:
+  explicit constexpr RingParams(unsigned bits) : bits_(bits) {
+    CBPS_ASSERT_MSG(bits >= 1 && bits <= 63, "ring bits out of range");
+  }
+
+  constexpr unsigned bits() const { return bits_; }
+
+  /// Size of the key space, 2^m.
+  constexpr std::uint64_t size() const { return std::uint64_t{1} << bits_; }
+
+  /// Largest valid key, 2^m - 1. Doubles as the bit mask.
+  constexpr Key max_key() const { return size() - 1; }
+
+  /// Reduce an arbitrary 64-bit value into the key space.
+  constexpr Key wrap(std::uint64_t v) const { return v & max_key(); }
+
+  /// k + d on the ring.
+  constexpr Key add(Key k, std::uint64_t d) const { return wrap(k + d); }
+
+  /// k - d on the ring.
+  constexpr Key sub(Key k, std::uint64_t d) const {
+    return wrap(k + size() - (d & max_key()));
+  }
+
+  /// Clockwise distance from a to b: the number of steps to reach b from a
+  /// moving in increasing-key direction. distance(a, a) == 0.
+  constexpr std::uint64_t distance(Key a, Key b) const {
+    return wrap(b + size() - a);
+  }
+
+  /// k in (a, b] on the ring. By Chord convention, (a, a] is the full ring:
+  /// leaving a and travelling clockwise, every key including a itself is
+  /// reached before "returning past" a.
+  constexpr bool in_open_closed(Key a, Key b, Key k) const {
+    if (a == b) return true;
+    return distance(a, k) != 0 && distance(a, k) <= distance(a, b);
+  }
+
+  /// k in [a, b) on the ring; [a, a) is the full ring.
+  constexpr bool in_closed_open(Key a, Key b, Key k) const {
+    if (a == b) return true;
+    return distance(a, k) < distance(a, b);
+  }
+
+  /// k in (a, b) on the ring; (a, a) is everything except a.
+  constexpr bool in_open_open(Key a, Key b, Key k) const {
+    if (a == b) return k != a;
+    return distance(a, k) != 0 && distance(a, k) < distance(a, b);
+  }
+
+  /// k in [a, b] on the ring; [a, a] is just {a}.
+  constexpr bool in_closed_closed(Key a, Key b, Key k) const {
+    return distance(a, k) <= distance(a, b);
+  }
+
+  /// Number of keys in the closed ring interval [a, b].
+  constexpr std::uint64_t closed_interval_size(Key a, Key b) const {
+    return distance(a, b) + 1;
+  }
+
+  /// Midpoint of the closed ring interval [a, b]: the key reached after
+  /// half the clockwise distance. Used to elect collecting agents
+  /// (paper §4.3.2, "the middle node of the range").
+  constexpr Key midpoint(Key a, Key b) const {
+    return add(a, distance(a, b) / 2);
+  }
+
+  friend constexpr bool operator==(RingParams l, RingParams r) {
+    return l.bits_ == r.bits_;
+  }
+
+ private:
+  unsigned bits_;
+};
+
+}  // namespace cbps

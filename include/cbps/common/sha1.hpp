@@ -1,0 +1,59 @@
+// SHA-1, implemented from scratch (FIPS 180-1).
+//
+// Chord's consistent hashing assigns node and key identifiers with SHA-1
+// (paper §3.1.1). We implement the digest ourselves so the repository has
+// no external dependencies; it is validated against the official FIPS
+// test vectors in the unit tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cbps {
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.update(data, len);
+///   Sha1::Digest d = h.finish();
+class Sha1 {
+ public:
+  using Digest = std::array<std::uint8_t, 20>;
+
+  Sha1() { reset(); }
+
+  /// Restore the initial state so the object can be reused.
+  void reset();
+
+  /// Absorb `len` bytes.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 160-bit digest. The hasher must be reset()
+  /// before further use.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::string_view s) {
+    Sha1 h;
+    h.update(s);
+    return h.finish();
+  }
+
+  /// Hex rendering of a digest (lowercase), for logging and tests.
+  static std::string to_hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace cbps

@@ -1,0 +1,27 @@
+// Fundamental identifier types shared by every layer.
+#pragma once
+
+#include <cstdint>
+
+namespace cbps {
+
+/// A point in the overlay key space. Keys live in [0, 2^m) for the ring
+/// parameter m (see ring.hpp); the full 64-bit range is never used so that
+/// modular arithmetic cannot overflow.
+using Key = std::uint64_t;
+
+/// Identifier of a pub/sub subscription, unique system-wide.
+using SubscriptionId = std::uint64_t;
+
+/// Identifier of a published event, unique system-wide.
+using EventId = std::uint64_t;
+
+/// Attribute values in the event space. The paper's data model uses
+/// numeric attributes (strings are reduced to numbers by hashing).
+using Value = std::int64_t;
+
+/// 128-bit unsigned helper for overflow-free scaling arithmetic
+/// (h_i(x) = x * 2^l / |Omega_i| needs the wide intermediate).
+__extension__ using Uint128 = unsigned __int128;
+
+}  // namespace cbps

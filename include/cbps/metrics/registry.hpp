@@ -1,0 +1,51 @@
+// Named counters and running summaries for experiment instrumentation.
+//
+// Benches create one Registry per run, pass it down through the harness,
+// and read it back to print a figure row. Nothing here is global: two
+// concurrently-constructed simulations never share state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "cbps/common/rng.hpp"
+
+namespace cbps::metrics {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Registry {
+ public:
+  /// Find or create a counter.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+
+  /// Find or create a running summary.
+  RunningStat& stat(const std::string& name) { return stats_[name]; }
+
+  /// Counter value, 0 if never touched (does not create).
+  std::uint64_t counter_value(const std::string& name) const;
+
+  void reset_all();
+
+  /// Human-readable dump (sorted by name).
+  void print(std::ostream& os) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, RunningStat>& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, RunningStat> stats_;
+};
+
+}  // namespace cbps::metrics

@@ -1,0 +1,39 @@
+// Target-set partitioning for the m-cast primitive (paper §4.3.1,
+// Figure 4), shared by every overlay implementation.
+//
+// Given the local node, its covered-range predicate and its routing
+// candidates (finger/routing-table/leaf-set nodes) sorted by ring
+// distance, the partition assigns:
+//   - covered targets to local delivery,
+//   - targets in (self, candidates[0]] to the first candidate (the ring
+//     successor, which covers them),
+//   - every other target to the farthest candidate *strictly* preceding
+//     it, so a whole segment (c_i, c_{i+1}] travels in one message and
+//     every node receives the multicast at most once.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cbps/common/ring.hpp"
+#include "cbps/common/types.hpp"
+
+namespace cbps::overlay {
+
+struct McastPartition {
+  /// Targets this node covers (deliver locally), sorted by ring distance.
+  std::vector<Key> local;
+  /// Per-candidate delegated target batches; parallel to the candidate
+  /// vector passed in (empty batches for unused candidates).
+  std::vector<std::vector<Key>> delegated;
+  /// Targets with no viable candidate (only when `candidates` is empty).
+  std::vector<Key> undeliverable;
+};
+
+/// `candidates` must be sorted by increasing ring distance from `self`
+/// and must not contain `self`. `covers` decides local delivery.
+McastPartition partition_mcast_targets(
+    RingParams ring, Key self, const std::function<bool(Key)>& covers,
+    std::vector<Key> targets, const std::vector<Key>& candidates);
+
+}  // namespace cbps::overlay

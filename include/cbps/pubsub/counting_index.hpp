@@ -1,0 +1,65 @@
+// Counting-based matching index.
+//
+// The paper's rendezvous nodes "match e against the subscriptions they
+// host" (§3.2); the straightforward scan is linear in the number of
+// stored subscriptions. This index implements the classic counting
+// algorithm of Fabret et al. (the paper's [6]): per attribute, constraint
+// intervals are registered in coarse value buckets; matching an event
+// stabs one bucket per attribute, counts satisfied constraints per
+// subscription, and reports the subscriptions whose entire conjunction
+// is satisfied. Expected cost is proportional to the number of
+// *satisfied constraints*, not the number of subscriptions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cbps/common/types.hpp"
+#include "cbps/pubsub/schema.hpp"
+#include "cbps/pubsub/subscription.hpp"
+
+namespace cbps::pubsub {
+
+class CountingIndex {
+ public:
+  /// `buckets_per_attribute` trades insertion cost (an interval is
+  /// registered in every bucket it overlaps) against stab precision.
+  explicit CountingIndex(const Schema& schema,
+                         std::size_t buckets_per_attribute = 256);
+
+  /// Register a subscription. Duplicate ids are rejected (no-op, false).
+  bool insert(const SubscriptionPtr& sub);
+
+  /// Remove by id. Returns false if unknown.
+  bool remove(SubscriptionId id);
+
+  /// Ids of all registered subscriptions matching `e`, unordered.
+  std::vector<SubscriptionId> match(const Event& e) const;
+
+  std::size_t size() const { return subs_.size(); }
+
+ private:
+  struct Entry {
+    SubscriptionId id;
+    ClosedInterval range;
+  };
+
+  std::size_t bucket_of(std::size_t attr, Value v) const;
+
+  Schema schema_;
+  std::size_t buckets_per_attribute_;
+  // buckets_[attr][bucket] -> entries whose interval overlaps the bucket.
+  std::vector<std::vector<std::vector<Entry>>> buckets_;
+  // Subscriptions with no constraints match every event.
+  std::vector<SubscriptionId> match_all_;
+  // id -> number of constraints (for the counting threshold) + the
+  // subscription itself (for removal).
+  struct SubInfo {
+    SubscriptionPtr sub;
+    std::uint32_t constraint_count;
+  };
+  std::unordered_map<SubscriptionId, SubInfo> subs_;
+};
+
+}  // namespace cbps::pubsub

@@ -1,0 +1,37 @@
+// Events: points in the event space (paper §3.2).
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cbps/common/types.hpp"
+#include "cbps/pubsub/schema.hpp"
+
+namespace cbps::pubsub {
+
+/// A published event: one value per schema attribute.
+struct Event {
+  EventId id = 0;
+  std::vector<Value> values;
+
+  Value value(std::size_t attr) const {
+    CBPS_ASSERT(attr < values.size());
+    return values[attr];
+  }
+
+  /// Whether the value vector is inside the schema's domains.
+  bool valid_for(const Schema& schema) const {
+    if (values.size() != schema.dimensions()) return false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!schema.domain(i).contains(values[i])) return false;
+    }
+    return true;
+  }
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+}  // namespace cbps::pubsub

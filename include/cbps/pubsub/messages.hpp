@@ -1,0 +1,190 @@
+// Application payloads the CB-pub/sub layer routes through the overlay.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cbps/common/types.hpp"
+#include "cbps/overlay/payload.hpp"
+#include "cbps/pubsub/event.hpp"
+#include "cbps/pubsub/mapping.hpp"
+#include "cbps/pubsub/subscription.hpp"
+#include "cbps/sim/time.hpp"
+
+namespace cbps::pubsub {
+
+/// One (event, subscription) match to be reported to a subscriber.
+struct Notification {
+  EventPtr event;
+  SubscriptionId subscription = 0;
+  /// When the event was published (simulated time); lets subscribers and
+  /// the benches measure the notification delay that buffering and
+  /// collecting trade for fewer messages (§4.3.2).
+  sim::SimTime published_at = 0;
+};
+
+/// Propagates a subscription to its rendezvous keys.
+struct SubscribeMsg final : overlay::Payload {
+  SubscribeMsg(SubscriptionPtr s, sim::SimTime expiry,
+               std::vector<KeyRange> rs)
+      : sub(std::move(s)), expires_at(expiry), ranges(std::move(rs)) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kSubscribe;
+  }
+
+  std::size_t size_bytes() const override {
+    return 32 + 24 * sub->constraints.size() + 16 * ranges.size();
+  }
+
+  SubscriptionPtr sub;
+  sim::SimTime expires_at;      // absolute sim time; kSimTimeNever = none
+  std::vector<KeyRange> ranges; // full SK(sub) as contiguous runs
+};
+
+/// Removes a subscription from its rendezvous keys.
+struct UnsubscribeMsg final : overlay::Payload {
+  explicit UnsubscribeMsg(SubscriptionId s) : sub_id(s) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kUnsubscribe;
+  }
+
+  std::size_t size_bytes() const override { return 16; }
+
+  SubscriptionId sub_id;
+};
+
+/// Propagates an event to its rendezvous keys.
+struct PublishMsg final : overlay::Payload {
+  PublishMsg(EventPtr e, Key pub, sim::SimTime at)
+      : event(std::move(e)), publisher(pub), published_at(at) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kPublish;
+  }
+
+  std::size_t size_bytes() const override {
+    return 32 + 8 * event->values.size();
+  }
+
+  EventPtr event;
+  Key publisher;
+  sim::SimTime published_at;
+};
+
+/// Batch of notifications for one subscriber (a batch of size one when
+/// buffering is off).
+struct NotifyMsg final : overlay::Payload {
+  NotifyMsg(Key s, std::vector<Notification> b)
+      : subscriber(s), batch(std::move(b)) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kNotify;
+  }
+
+  std::size_t size_bytes() const override {
+    std::size_t total = 16;
+    for (const Notification& n : batch) {
+      total += 24 + 8 * n.event->values.size();
+    }
+    return total;
+  }
+
+  Key subscriber;
+  std::vector<Notification> batch;
+};
+
+/// One match travelling along the ring toward a range's agent node
+/// (collecting, §4.3.2).
+struct CollectItem {
+  KeyRange range;       // the stored run this match belongs to
+  Key subscriber = 0;
+  Notification notification;
+};
+
+/// Batch of collect items pushed one ring hop toward their agents.
+struct CollectMsg final : overlay::Payload {
+  explicit CollectMsg(std::vector<CollectItem> i) : items(std::move(i)) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kCollect;
+  }
+
+  std::size_t size_bytes() const override {
+    std::size_t total = 8;
+    for (const CollectItem& item : items) {
+      total += 48 + 8 * item.notification.event->values.size();
+    }
+    return total;
+  }
+
+  std::vector<CollectItem> items;
+};
+
+/// A stored-subscription record in transit (state transfer, replicas).
+struct StoredSubRecord {
+  SubscriptionPtr sub;
+  sim::SimTime expires_at = sim::kSimTimeNever;
+  std::vector<KeyRange> ranges;
+  /// Whether the receiver should hold this as a replica (crash backup)
+  /// rather than as owned state.
+  bool replica = false;
+};
+
+/// Application state handed over on join/leave (OverlayApp::export_state
+/// product).
+struct StateMsg final : overlay::Payload {
+  explicit StateMsg(std::vector<StoredSubRecord> r) : records(std::move(r)) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kStateTransfer;
+  }
+
+  std::size_t size_bytes() const override {
+    std::size_t total = 8;
+    for (const StoredSubRecord& r : records) {
+      total += 32 + 24 * r.sub->constraints.size() + 16 * r.ranges.size();
+    }
+    return total;
+  }
+
+  std::vector<StoredSubRecord> records;
+};
+
+/// Replica of a stored subscription pushed along `remaining_hops`
+/// successors for crash resilience (§4.1: "state replicated on a small
+/// number of neighbors").
+struct ReplicaMsg final : overlay::Payload {
+  ReplicaMsg(StoredSubRecord r, std::size_t hops)
+      : record(std::move(r)), remaining_hops(hops) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kStateTransfer;
+  }
+
+  std::size_t size_bytes() const override {
+    return 40 + 24 * record.sub->constraints.size() +
+           16 * record.ranges.size();
+  }
+
+  StoredSubRecord record;
+  std::size_t remaining_hops;
+};
+
+/// Replica removal (follows unsubscription).
+struct ReplicaRemoveMsg final : overlay::Payload {
+  ReplicaRemoveMsg(SubscriptionId s, std::size_t hops)
+      : sub_id(s), remaining_hops(hops) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kStateTransfer;
+  }
+
+  std::size_t size_bytes() const override { return 24; }
+
+  SubscriptionId sub_id;
+  std::size_t remaining_hops;
+};
+
+}  // namespace cbps::pubsub

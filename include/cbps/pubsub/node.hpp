@@ -1,0 +1,167 @@
+// The CB-pub/sub layer of one node (paper Figure 2, §4.1).
+//
+// Responsibilities, quoting the paper: computing the SK/EK mappings,
+// forwarding subscriptions and events to their rendezvous keys, storing
+// subscriptions, matching events, forwarding notifications, and managing
+// the application state across node joins and departures. The buffering
+// and collecting optimizations of §4.3.2 live here as well.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cbps/overlay/node.hpp"
+#include "cbps/pubsub/mapping.hpp"
+#include "cbps/pubsub/messages.hpp"
+#include "cbps/pubsub/store.hpp"
+#include "cbps/sim/simulator.hpp"
+
+namespace cbps::pubsub {
+
+struct PubSubConfig {
+  /// How one-to-many propagation is realized on the overlay (§4.3.1).
+  enum class Transport {
+    kUnicast,    // aggressive: one send() per key, in parallel
+    kMulticast,  // the paper's native m-cast extension
+    kChain,      // conservative: ring-order walk (baseline)
+  };
+
+  Transport sub_transport = Transport::kUnicast;
+  Transport pub_transport = Transport::kUnicast;
+
+  /// Buffer matched notifications and send them in periodic per-
+  /// subscriber batches (§4.3.2).
+  bool buffering = false;
+  sim::SimTime buffer_period = sim::sec(5);
+
+  /// Aggregate matches along each stored key range toward the range's
+  /// agent node before notifying (§4.3.2). Implies periodic (buffered)
+  /// agent flushes with the same period.
+  bool collecting = false;
+
+  /// Push each stored subscription to this many ring successors so a
+  /// crashed rendezvous' state survives (§4.1). 0 disables.
+  std::size_t replication_factor = 0;
+
+  /// Default subscription lifetime (kSimTimeNever = no expiration).
+  sim::SimTime default_ttl = sim::kSimTimeNever;
+
+  /// Matching engine at the rendezvous (brute-force scan or the
+  /// counting index of Fabret et al., the paper's [6]).
+  MatchEngine match_engine = MatchEngine::kBruteForce;
+};
+
+class PubSubNode final : public overlay::OverlayApp {
+ public:
+  /// Receives every notification delivered to this node's application.
+  using NotifySink =
+      std::function<void(Key subscriber, const Notification&)>;
+
+  PubSubNode(overlay::OverlayNode& overlay, sim::Simulator& sim,
+             const AkMapping& mapping, PubSubConfig cfg);
+  ~PubSubNode() override;
+
+  PubSubNode(const PubSubNode&) = delete;
+  PubSubNode& operator=(const PubSubNode&) = delete;
+
+  void set_notify_sink(NotifySink sink) { sink_ = std::move(sink); }
+
+  // --- application API: the paper's sub() / pub() ----------------------
+  /// Register `sub` (id and subscriber key must be filled in) for `ttl`.
+  void subscribe(SubscriptionPtr sub, sim::SimTime ttl);
+  void subscribe(SubscriptionPtr sub) {
+    subscribe(std::move(sub), cfg_.default_ttl);
+  }
+
+  /// Withdraw a previously issued subscription.
+  void unsubscribe(SubscriptionId id);
+
+  /// Publish an event (id must be filled in).
+  void publish(EventPtr event);
+
+  // --- overlay::OverlayApp ----------------------------------------------
+  void on_deliver(Key key, const overlay::PayloadPtr& payload) override;
+  void on_deliver_mcast(std::span<const Key> covered,
+                        const overlay::PayloadPtr& payload) override;
+  overlay::PayloadPtr export_state(Key range_lo, Key range_hi,
+                                   bool remove) override;
+  void import_state(const overlay::PayloadPtr& state) override;
+
+  // --- introspection ------------------------------------------------------
+  const SubscriptionStore& store() const { return store_; }
+  overlay::OverlayNode& overlay() { return overlay_; }
+  std::uint64_t notifications_received() const {
+    return notifications_received_;
+  }
+  /// Publish-to-notify latency (seconds) of notifications received here.
+  const RunningStat& notification_delay() const {
+    return notification_delay_;
+  }
+  std::uint64_t notify_batches_sent() const { return notify_batches_sent_; }
+  std::uint64_t notifications_sent() const { return notifications_sent_; }
+
+ private:
+  // Rendezvous-side handlers.
+  void handle_subscribe(const SubscribeMsg& msg);
+  void handle_unsubscribe(const UnsubscribeMsg& msg);
+  void handle_publish(const PublishMsg& msg, std::span<const Key> covered);
+  void handle_notify(const NotifyMsg& msg);
+  void handle_collect(const CollectMsg& msg);
+  void handle_replica(const ReplicaMsg& msg);
+  void handle_replica_remove(const ReplicaRemoveMsg& msg);
+  void dispatch(std::span<const Key> covered,
+                const overlay::PayloadPtr& payload);
+
+  /// Route one match to its subscriber through the configured path
+  /// (immediate / buffered / collected).
+  void route_match(const SubscriptionStore::Record& rec, EventPtr event,
+                   sim::SimTime published_at);
+
+  void buffer_notification(Key subscriber, Notification n);
+  void enqueue_collect(CollectItem item);
+  void flush_notify_buffer();
+  void flush_collect_buffers();
+  void schedule_sweep();
+  void sweep_expired();
+
+  void send_to_keys(const std::vector<Key>& keys,
+                    overlay::PayloadPtr payload,
+                    PubSubConfig::Transport transport);
+
+  // Ring geometry helpers for collecting (§4.3.2).
+  bool covers_key(Key k) const;
+  bool coverage_intersects(const KeyRange& r) const;
+  const KeyRange* my_range_for(const SubscriptionStore::Record& rec) const;
+  bool is_agent_for(const KeyRange& r) const;
+  bool agent_toward_successor(const KeyRange& r) const;
+
+  overlay::OverlayNode& overlay_;
+  sim::Simulator& sim_;
+  const AkMapping& mapping_;
+  PubSubConfig cfg_;
+
+  SubscriptionStore store_;
+  std::unordered_map<SubscriptionId, SubscriptionPtr> own_subs_;
+  NotifySink sink_;
+
+  // Pending per-subscriber notification batches (buffering + agent role).
+  std::unordered_map<Key, std::vector<Notification>> notify_buffer_;
+  // Pending collect items by ring direction.
+  std::vector<CollectItem> collect_to_succ_;
+  std::vector<CollectItem> collect_to_pred_;
+
+  // One-shot timers, armed only while there is pending work.
+  bool flush_scheduled_ = false;
+  bool collect_scheduled_ = false;
+  bool sweep_scheduled_ = false;
+  sim::SimTime sweep_at_ = sim::kSimTimeNever;
+
+  std::uint64_t notifications_received_ = 0;
+  std::uint64_t notify_batches_sent_ = 0;
+  std::uint64_t notifications_sent_ = 0;
+  RunningStat notification_delay_;
+};
+
+}  // namespace cbps::pubsub

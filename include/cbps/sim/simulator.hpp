@@ -1,0 +1,102 @@
+// Single-threaded discrete-event simulation engine.
+//
+// Events are (time, callback) pairs processed in nondecreasing time order;
+// ties break by schedule order (a strict total order), which together with
+// the seeded Rng makes every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cbps/common/assert.hpp"
+#include "cbps/sim/time.hpp"
+
+namespace cbps::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+  using TimerId = std::uint64_t;
+
+  static constexpr EventId kInvalidEvent = 0;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now()). Returns a handle that
+  /// can cancel the event before it fires.
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` after `delay` from now.
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Register a periodic timer firing every `period`, first at
+  /// now() + first_delay (defaults to one full period). The callback keeps
+  /// firing until cancel_timer().
+  TimerId add_timer(SimTime period, Callback cb);
+  TimerId add_timer(SimTime period, SimTime first_delay, Callback cb);
+
+  /// Stop a periodic timer. Returns false if unknown/already cancelled.
+  bool cancel_timer(TimerId id);
+
+  /// Run until the queue drains (or `max_events` fire). Returns the number
+  /// of events processed.
+  std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0});
+
+  /// Process every event with time <= t, then advance the clock to t.
+  /// Returns the number of events processed.
+  std::uint64_t run_until(SimTime t);
+
+  /// Pending (non-cancelled) event count, periodic timers included.
+  std::size_t pending_events() const { return pending_.size(); }
+
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    EventId id;
+    // Min-heap ordering: earliest time first, then earliest id.
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  struct TimerState {
+    SimTime period;
+    Callback cb;
+    EventId next_event = kInvalidEvent;
+  };
+
+  /// Pop and run the earliest event. Precondition: queue non-empty after
+  /// discarding cancelled entries. Returns false if nothing runnable.
+  bool step();
+
+  void arm_timer(TimerId id);
+  void fire_timer(TimerId id);
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  TimerId next_timer_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+  std::unordered_map<EventId, Callback> pending_;
+  std::unordered_map<TimerId, TimerState> timers_;
+};
+
+}  // namespace cbps::sim

@@ -1,0 +1,30 @@
+// Simulated time.
+//
+// The simulator clock is a 64-bit count of microseconds since the start of
+// the run. Helpers build durations readably: sim::sec(5), sim::ms(50).
+#pragma once
+
+#include <cstdint>
+
+namespace cbps::sim {
+
+/// Absolute simulated time or a duration, in microseconds.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kSimTimeNever = ~SimTime{0};
+
+constexpr SimTime us(std::uint64_t n) { return n; }
+constexpr SimTime ms(std::uint64_t n) { return n * 1000; }
+constexpr SimTime sec(std::uint64_t n) { return n * 1000 * 1000; }
+
+/// Duration as fractional seconds (for reporting).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+/// Fractional seconds to SimTime (rounding down).
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e6);
+}
+
+}  // namespace cbps::sim

@@ -1,0 +1,83 @@
+// Workload generation following the paper's evaluation setup (§5.1):
+//
+//   - 4 integer attributes in [0, ATTR_MAX = 1,000,000];
+//   - each constraint spans a range drawn uniformly from [1, X], where
+//     X = 3% of ATTR_MAX for non-selective attributes and 0.1% for
+//     selective ones;
+//   - ranges are centered uniformly (non-selective) or Zipf-distributed
+//     (selective);
+//   - publications match at least one active subscription with a given
+//     matching probability.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cbps/common/rng.hpp"
+#include "cbps/pubsub/schema.hpp"
+#include "cbps/pubsub/subscription.hpp"
+
+namespace cbps::workload {
+
+struct WorkloadParams {
+  /// Fraction of the attribute domain bounding a non-selective
+  /// constraint's range (paper: 3%).
+  double nonselective_range_frac = 0.03;
+  /// Fraction bounding a selective constraint's range (paper: 0.1%).
+  double selective_range_frac = 0.001;
+  /// Which attributes are selective (empty = none). Selective attributes
+  /// get tight ranges with Zipf-distributed centers.
+  std::vector<bool> selective;
+  /// Zipf exponent for selective-attribute centers.
+  double zipf_exponent = 1.0;
+  /// Probability that a publication matches >= 1 active subscription.
+  double matching_probability = 0.5;
+
+  bool is_selective(std::size_t attr) const {
+    return attr < selective.size() && selective[attr];
+  }
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(pubsub::Schema schema, WorkloadParams params,
+                    std::uint64_t seed);
+
+  const pubsub::Schema& schema() const { return schema_; }
+  const WorkloadParams& params() const { return params_; }
+  Rng& rng() { return rng_; }
+
+  /// Constraints of a fresh subscription: one range constraint per
+  /// attribute, per the paper's model.
+  std::vector<pubsub::Constraint> make_constraints();
+
+  /// Event values drawn uniformly from the whole event space (almost
+  /// surely matching nothing under the paper's tight ranges).
+  std::vector<Value> make_random_values();
+
+  /// Event values guaranteed to match `target`.
+  std::vector<Value> make_matching_values(const pubsub::Subscription& target);
+
+  /// Event values honoring the matching probability: with probability p,
+  /// a uniform point inside a uniformly chosen subscription from
+  /// `active`; otherwise uniform over the event space. Falls back to
+  /// uniform when `active` is empty.
+  std::vector<Value> make_event_values(
+      std::span<const pubsub::SubscriptionPtr> active);
+
+ private:
+  pubsub::Constraint make_constraint(std::size_t attr);
+  /// A Zipf-popular value of attribute `attr` (popularity follows Zipf;
+  /// rank is mapped to a domain position by a fixed bijection so popular
+  /// values are spread across the domain).
+  Value zipf_value(std::size_t attr);
+
+  pubsub::Schema schema_;
+  WorkloadParams params_;
+  Rng rng_;
+  std::vector<ZipfSampler> zipf_;  // one per attribute
+  std::vector<std::uint64_t> rank_multiplier_;
+};
+
+}  // namespace cbps::workload

@@ -1,0 +1,89 @@
+// Replayable workload traces.
+//
+// A Trace is a time-ordered list of application operations (subscribe /
+// unsubscribe / publish) with a line-oriented text serialization, so an
+// interesting run can be captured once and replayed against different
+// system configurations (mappings, transports, optimizations) for an
+// apples-to-apples comparison.
+//
+// Format (one op per line, times in microseconds):
+//   sub <t> <node> <id> <ttl|never> <attr>:<lo>:<hi> [...]
+//   unsub <t> <node> <id>
+//   pub <t> <node> <v0> <v1> [...]
+//   # comments and blank lines are ignored
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cbps/pubsub/subscription.hpp"
+#include "cbps/pubsub/system.hpp"
+#include "cbps/sim/time.hpp"
+
+namespace cbps::workload {
+
+struct TraceOp {
+  enum class Kind { kSubscribe, kUnsubscribe, kPublish };
+
+  Kind kind = Kind::kPublish;
+  sim::SimTime at = 0;
+  std::size_t node = 0;  // dense node index in the system
+
+  // kSubscribe / kUnsubscribe
+  SubscriptionId sub_id = 0;
+  sim::SimTime ttl = sim::kSimTimeNever;            // kSubscribe
+  std::vector<pubsub::Constraint> constraints;      // kSubscribe
+
+  // kPublish
+  std::vector<Value> values;
+};
+
+class Trace {
+ public:
+  void add(TraceOp op) { ops_.push_back(std::move(op)); }
+  const std::vector<TraceOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  std::uint64_t subscription_count() const;
+  std::uint64_t publication_count() const;
+
+  void save(std::ostream& os) const;
+
+  /// Parse a trace; returns nullopt (with a message in *error) on
+  /// malformed input.
+  static std::optional<Trace> load(std::istream& is,
+                                   std::string* error = nullptr);
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+/// Schedules every trace operation against a system at its recorded
+/// simulated time. Construct, call start(), then run the simulator.
+class TraceReplayer {
+ public:
+  TraceReplayer(pubsub::PubSubSystem& system, const Trace& trace);
+
+  /// Arm the replay. Operations whose node index exceeds the system's
+  /// node count are skipped (counted in skipped()).
+  void start();
+
+  std::uint64_t replayed() const { return replayed_; }
+  std::uint64_t skipped() const { return skipped_; }
+
+ private:
+  void apply(const TraceOp& op);
+
+  pubsub::PubSubSystem& system_;
+  const Trace& trace_;
+  // Maps trace subscription ids to the ids the system assigned.
+  std::map<SubscriptionId, std::pair<std::size_t, SubscriptionId>>
+      sub_ids_;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace cbps::workload

@@ -1,0 +1,48 @@
+#include "cbps/chord/location_cache.hpp"
+
+namespace cbps::chord {
+
+void LocationCache::insert(Key node, Key range_lo) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(node);
+  if (it != map_.end()) {
+    it->second.first = range_lo;
+    touch(it);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(node);
+  map_.emplace(node, std::make_pair(range_lo, lru_.begin()));
+}
+
+void LocationCache::evict(Key node) {
+  auto it = map_.find(node);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.second);
+  map_.erase(it);
+}
+
+std::optional<Key> LocationCache::find_owner(Key key) {
+  for (auto it = map_.begin(); it != map_.end(); ++it) {
+    const Key node = it->first;
+    const Key range_lo = it->second.first;
+    if (node != range_lo && ring_.in_open_closed(range_lo, node, key)) {
+      touch(it);
+      return node;
+    }
+  }
+  return std::nullopt;
+}
+
+void LocationCache::touch(
+    std::unordered_map<Key, std::pair<Key, std::list<Key>::iterator>>::iterator
+        it) {
+  lru_.splice(lru_.begin(), lru_, it->second.second);
+  it->second.second = lru_.begin();
+}
+
+}  // namespace cbps::chord

@@ -1,0 +1,174 @@
+#include "cbps/chord/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cbps/common/hash.hpp"
+#include "cbps/common/logging.hpp"
+
+namespace cbps::chord {
+
+ChordNetwork::ChordNetwork(sim::Simulator& sim, ChordConfig cfg,
+                           std::uint64_t seed,
+                           std::unique_ptr<sim::LatencyModel> latency)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(seed),
+      latency_(latency ? std::move(latency) : sim::default_latency()) {}
+
+ChordNetwork::~ChordNetwork() {
+  // Timers owned by nodes reference the simulator; stop them while the
+  // nodes still exist.
+  for (auto& [_, n] : nodes_) n->stop_maintenance();
+}
+
+ChordNode& ChordNetwork::add_node(const std::string& name) {
+  Key id = consistent_hash(name, cfg_.ring);
+  int salt = 0;
+  while (nodes_.contains(id)) {
+    id = consistent_hash(name + "#" + std::to_string(salt++), cfg_.ring);
+  }
+  return add_node_with_id(id, name);
+}
+
+ChordNode& ChordNetwork::add_node_with_id(Key id, std::string name) {
+  CBPS_ASSERT_MSG(!nodes_.contains(id), "duplicate node id");
+  CBPS_ASSERT(id <= cfg_.ring.max_key());
+  auto node = std::make_unique<ChordNode>(*this, id, std::move(name));
+  ChordNode& ref = *node;
+  nodes_.emplace(id, std::move(node));
+  alive_.insert(id);
+  return ref;
+}
+
+void ChordNetwork::build_static_ring() {
+  const std::vector<Key> ids = alive_ids();
+  CBPS_ASSERT(!ids.empty());
+  const std::size_t n = ids.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key id = ids[i];
+    ChordNode& node = *nodes_.at(id);
+
+    std::optional<Key> pred;
+    std::vector<Key> succs;
+    if (n > 1) {
+      pred = ids[(i + n - 1) % n];
+      for (std::size_t j = 1; j <= cfg_.successor_list_size && j < n; ++j) {
+        succs.push_back(ids[(i + j) % n]);
+      }
+    }
+
+    std::vector<Key> fingers(cfg_.ring.bits());
+    for (std::size_t f = 0; f < fingers.size(); ++f) {
+      const Key start = cfg_.ring.add(id, std::uint64_t{1} << f);
+      fingers[f] = oracle_successor(start);
+    }
+    node.install_state(pred, std::move(succs), std::move(fingers));
+  }
+}
+
+ChordNode& ChordNetwork::join_node(const std::string& name, Key bootstrap) {
+  CBPS_ASSERT_MSG(is_alive(bootstrap), "bootstrap node must be alive");
+  ChordNode& node = add_node(name);
+  node.begin_join(bootstrap);
+  return node;
+}
+
+void ChordNetwork::leave_gracefully(Key id) {
+  CBPS_ASSERT(is_alive(id));
+  nodes_.at(id)->leave_gracefully();
+  alive_.erase(id);
+}
+
+void ChordNetwork::crash(Key id) {
+  CBPS_ASSERT(is_alive(id));
+  nodes_.at(id)->stop_maintenance();
+  alive_.erase(id);
+}
+
+ChordNode* ChordNetwork::node(Key id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const ChordNode* ChordNetwork::node(Key id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Key> ChordNetwork::alive_ids() const {
+  return {alive_.begin(), alive_.end()};
+}
+
+ChordNode& ChordNetwork::alive_node(std::size_t i) {
+  CBPS_ASSERT(i < alive_.size());
+  auto it = alive_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(i));
+  return *nodes_.at(*it);
+}
+
+Key ChordNetwork::oracle_successor(Key key) const {
+  CBPS_ASSERT_MSG(!alive_.empty(), "no alive nodes");
+  auto it = alive_.lower_bound(key);
+  return it == alive_.end() ? *alive_.begin() : *it;
+}
+
+void ChordNetwork::start_maintenance_all() {
+  for (Key id : alive_) nodes_.at(id)->start_maintenance();
+}
+
+namespace {
+
+/// Approximate wire size of a message: the application payload plus
+/// 8 bytes per carried key.
+std::size_t wire_size_bytes(const WireMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RouteMsg>) {
+          return m.payload->size_bytes() + 8;
+        } else if constexpr (std::is_same_v<T, McastMsg> ||
+                             std::is_same_v<T, ChainMsg>) {
+          return m.payload->size_bytes() + 8 * m.targets.size();
+        } else if constexpr (std::is_same_v<T, NeighborMsg>) {
+          return m.payload->size_bytes();
+        } else if constexpr (std::is_same_v<T, StateTransferMsg>) {
+          return m.state ? m.state->size_bytes() : 0;
+        } else if constexpr (std::is_same_v<T, PredLeaveMsg>) {
+          return (m.state ? m.state->size_bytes() : 0) + 8;
+        } else if constexpr (std::is_same_v<T, GetNeighborsReply>) {
+          return 8 * (1 + m.successors.size());
+        } else {
+          return 16;  // small fixed-size control messages
+        }
+      },
+      msg);
+}
+
+}  // namespace
+
+bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
+                            overlay::MessageClass cls) {
+  if (!alive_.contains(to)) return false;
+  traffic_.record_hop(cls, wire_size_bytes(msg));
+
+  const ChordNode& src = *nodes_.at(from);
+  auto env = std::make_shared<Envelope>();
+  env->from = from;
+  env->from_has_pred = src.predecessor().has_value();
+  env->from_pred = src.predecessor().value_or(0);
+  env->msg = std::move(msg);
+
+  const sim::SimTime delay = latency_->sample(rng_);
+  sim_.schedule_after(delay, [this, to, env] {
+    if (!alive_.contains(to)) return;  // destination died in flight
+    nodes_.at(to)->receive(std::move(*env));
+  });
+  return true;
+}
+
+void ChordNetwork::self_deliver(std::function<void()> action) {
+  sim_.schedule_after(0, std::move(action));
+}
+
+}  // namespace cbps::chord

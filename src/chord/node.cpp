@@ -1,0 +1,634 @@
+#include "cbps/chord/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cbps/chord/network.hpp"
+#include "cbps/common/logging.hpp"
+#include "cbps/overlay/mcast_partition.hpp"
+
+namespace cbps::chord {
+
+using overlay::MessageClass;
+using overlay::PayloadPtr;
+
+ChordNode::ChordNode(ChordNetwork& net, Key id, std::string name)
+    : net_(net),
+      id_(id),
+      name_(std::move(name)),
+      fingers_(net.ring(), id),
+      cache_(net.ring(), net.config().location_cache_size) {}
+
+RingParams ChordNode::ring() const { return net_.ring(); }
+
+const ChordConfig& ChordNode::config() const { return net_.config(); }
+
+bool ChordNode::covers(Key k) const {
+  // A node that knows no predecessor accepts whatever routing hands it:
+  // either the ring has a single member, or the predecessor just failed
+  // and this node is the legitimate successor of the orphaned range.
+  if (!has_pred_) return true;
+  return ring().in_open_closed(pred_, id_, k);
+}
+
+bool ChordNode::transmit(Key to, WireMessage msg, MessageClass cls) {
+  CBPS_ASSERT_MSG(to != id_, "self-transmit must be a local delivery");
+  if (!net_.transmit(id_, to, std::move(msg), cls)) {
+    on_peer_dead(to);
+    return false;
+  }
+  return true;
+}
+
+void ChordNode::on_peer_dead(Key peer) {
+  fingers_.evict(peer);
+  cache_.evict(peer);
+  std::erase(succs_, peer);
+  if (has_pred_ && pred_ == peer) has_pred_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Next-hop selection
+// ---------------------------------------------------------------------------
+
+std::optional<Key> ChordNode::closest_preceding(Key key) const {
+  // Best candidate: maximal ring distance from us while still in
+  // (id, key]. Scans fingers, successor list, predecessor and the
+  // location cache (all O(log n + cache) candidates).
+  std::optional<Key> best;
+  std::uint64_t best_dist = 0;
+  const auto consider = [&](Key c) {
+    if (c == id_) return;
+    if (!ring().in_open_closed(id_, key, c)) return;
+    const std::uint64_t d = ring().distance(id_, c);
+    if (!best || d > best_dist) {
+      best = c;
+      best_dist = d;
+    }
+  };
+  for (std::size_t i = 0; i < fingers_.size(); ++i) {
+    if (auto f = fingers_.get(i)) consider(*f);
+  }
+  for (Key s : succs_) consider(s);
+  if (has_pred_) consider(pred_);
+  for (Key c : cache_.nodes()) consider(c);
+  return best;
+}
+
+std::optional<Key> ChordNode::next_hop(Key key) const {
+  if (covers(key)) return std::nullopt;
+  // Location-cache shortcut: a peer we believe covers `key` can take the
+  // message directly (it re-routes if the belief turned stale).
+  if (auto owner =
+          const_cast<LocationCache&>(cache_).find_owner(key)) {
+    if (*owner != id_) return owner;
+  }
+  if (!succs_.empty() &&
+      ring().in_open_closed(id_, succs_.front(), key)) {
+    return succs_.front();
+  }
+  if (auto c = closest_preceding(key)) return c;
+  if (!succs_.empty()) return succs_.front();
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Unicast routing
+// ---------------------------------------------------------------------------
+
+void ChordNode::send(Key key, PayloadPtr payload) {
+  RouteMsg msg{key, std::move(payload), 0, id_};
+  if (covers(key)) {
+    net_.self_deliver(
+        [this, msg = std::move(msg)] { deliver_route(msg); });
+    return;
+  }
+  forward_route(std::move(msg));
+}
+
+void ChordNode::handle_route(RouteMsg msg) {
+  if (covers(msg.target)) {
+    deliver_route(msg);
+    return;
+  }
+  forward_route(std::move(msg));
+}
+
+void ChordNode::deliver_route(const RouteMsg& msg) {
+  const MessageClass cls = msg.payload->message_class();
+  net_.traffic().record_delivery(cls);
+  net_.traffic().record_route_complete(cls, msg.hops);
+  if (config().owner_feedback && msg.origin != id_ && msg.hops > 1) {
+    transmit(msg.origin, OwnerInfoMsg{id_, has_pred_ ? pred_ : id_},
+             MessageClass::kControl);
+  }
+  if (app_ != nullptr) app_->on_deliver(msg.target, msg.payload);
+}
+
+void ChordNode::forward_route(RouteMsg msg) {
+  if (msg.hops >= config().max_route_hops) {
+    net_.registry().counter("chord.route_dropped").inc();
+    CBPS_LOG_WARN << "node " << id_ << ": dropping route to " << msg.target
+                  << " after " << msg.hops << " hops";
+    return;
+  }
+  const MessageClass cls = msg.payload->message_class();
+  for (;;) {
+    if (covers(msg.target)) {  // candidate eviction can make us the owner
+      deliver_route(msg);
+      return;
+    }
+    const auto nh = next_hop(msg.target);
+    if (!nh) {
+      net_.registry().counter("chord.route_no_candidate").inc();
+      return;
+    }
+    RouteMsg out = msg;
+    out.hops = msg.hops + 1;
+    if (transmit(*nh, std::move(out), cls)) return;
+    // transmit evicted the dead peer; retry with the next candidate.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// m-cast (paper §4.3.1, Figure 4)
+// ---------------------------------------------------------------------------
+
+void ChordNode::m_cast(std::vector<Key> keys, PayloadPtr payload) {
+  if (keys.empty()) return;
+  run_mcast(std::move(keys), payload, /*hops=*/0, /*initiator=*/true);
+}
+
+void ChordNode::handle_mcast(McastMsg msg) {
+  run_mcast(std::move(msg.targets), msg.payload, msg.hops,
+            /*initiator=*/false);
+}
+
+void ChordNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
+                          std::uint32_t hops, bool initiator) {
+  if (hops >= config().max_route_hops) {
+    net_.registry().counter("chord.mcast_dropped_keys").inc(keys.size());
+    return;
+  }
+
+  // Delegation candidates: the distinct finger nodes (f_1 is the
+  // successor in a converged ring) sorted by ring distance.
+  std::vector<Key> candidates = fingers_.distinct_nodes();
+  if (!succs_.empty() &&
+      std::find(candidates.begin(), candidates.end(), succs_.front()) ==
+          candidates.end()) {
+    candidates.push_back(succs_.front());
+    std::sort(candidates.begin(), candidates.end(),
+              [this](Key a, Key b) {
+                return ring().distance(id_, a) < ring().distance(id_, b);
+              });
+  }
+
+  // Figure 4 segment delegation (shared across overlays).
+  const overlay::McastPartition part = overlay::partition_mcast_targets(
+      ring(), id_, [this](Key k) { return covers(k); }, std::move(keys),
+      candidates);
+
+  if (!part.local.empty() && app_ != nullptr) {
+    const MessageClass cls = payload->message_class();
+    net_.traffic().record_delivery(cls);
+    if (initiator) {
+      // Keep the upcall asynchronous even for the initiator.
+      PayloadPtr p = payload;
+      std::vector<Key> covered = part.local;
+      net_.self_deliver([this, covered = std::move(covered), p] {
+        app_->on_deliver_mcast(covered, p);
+      });
+    } else {
+      app_->on_deliver_mcast(part.local, payload);
+    }
+  }
+  if (!part.undeliverable.empty()) {
+    net_.registry()
+        .counter("chord.mcast_dropped_keys")
+        .inc(part.undeliverable.size());
+  }
+
+  const MessageClass cls = payload->message_class();
+  std::vector<Key> retry;
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (part.delegated[j].empty()) continue;
+    if (!transmit(candidates[j],
+                  McastMsg{part.delegated[j], payload, hops + 1}, cls)) {
+      retry.insert(retry.end(), part.delegated[j].begin(),
+                   part.delegated[j].end());
+    }
+  }
+  if (!retry.empty()) {
+    // Dead candidates were evicted; re-run the assignment for their keys.
+    run_mcast(std::move(retry), payload, hops + 1, /*initiator=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// chain_cast: conservative unicast-based one-to-many (§4.3.1 baseline)
+// ---------------------------------------------------------------------------
+
+void ChordNode::chain_cast(std::vector<Key> keys, PayloadPtr payload) {
+  if (keys.empty()) return;
+  std::sort(keys.begin(), keys.end(), [this](Key a, Key b) {
+    return ring().distance(id_, a) < ring().distance(id_, b);
+  });
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  run_chain(std::move(keys), payload, /*hops=*/0, /*initiator=*/true);
+}
+
+void ChordNode::handle_chain(ChainMsg msg) {
+  if (covers(msg.targets.front())) {
+    run_chain(std::move(msg.targets), msg.payload, msg.hops,
+              /*initiator=*/false);
+  } else {
+    forward_chain(std::move(msg));
+  }
+}
+
+void ChordNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
+                          std::uint32_t hops, bool initiator) {
+  std::vector<Key> covered;
+  std::vector<Key> remaining;
+  for (Key k : keys) {
+    (covers(k) ? covered : remaining).push_back(k);
+  }
+  if (!covered.empty() && app_ != nullptr) {
+    const MessageClass cls = payload->message_class();
+    net_.traffic().record_delivery(cls);
+    if (initiator) {
+      PayloadPtr p = payload;
+      net_.self_deliver([this, covered, p] {
+        app_->on_deliver_mcast(covered, p);
+      });
+    } else {
+      app_->on_deliver_mcast(covered, payload);
+    }
+  }
+  if (remaining.empty()) return;
+
+  // Keep ring order relative to this node: the nearest remaining key is
+  // visited next (the paper's "forward M to k_i + 1" walk).
+  std::sort(remaining.begin(), remaining.end(), [this](Key a, Key b) {
+    return ring().distance(id_, a) < ring().distance(id_, b);
+  });
+  forward_chain(ChainMsg{std::move(remaining), payload, hops});
+}
+
+void ChordNode::forward_chain(ChainMsg msg) {
+  if (msg.hops >= config().max_route_hops) {
+    net_.registry().counter("chord.chain_dropped").inc();
+    return;
+  }
+  const MessageClass cls = msg.payload->message_class();
+  for (;;) {
+    if (covers(msg.targets.front())) {
+      run_chain(std::move(msg.targets), msg.payload, msg.hops,
+                /*initiator=*/false);
+      return;
+    }
+    const auto nh = next_hop(msg.targets.front());
+    if (!nh) {
+      net_.registry().counter("chord.chain_no_candidate").inc();
+      return;
+    }
+    ChainMsg out = msg;
+    out.hops = msg.hops + 1;
+    if (transmit(*nh, std::move(out), cls)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Neighbor sends (collecting, §4.3.2)
+// ---------------------------------------------------------------------------
+
+void ChordNode::send_to_successor(PayloadPtr payload) {
+  while (!succs_.empty()) {
+    const Key s = succs_.front();
+    if (transmit(s, NeighborMsg{payload}, payload->message_class())) return;
+  }
+  // Alone in the ring: local delivery.
+  if (app_ != nullptr) {
+    PayloadPtr p = std::move(payload);
+    net_.self_deliver([this, p] { app_->on_deliver(id_, p); });
+  }
+}
+
+void ChordNode::send_to_predecessor(PayloadPtr payload) {
+  if (has_pred_ && pred_ != id_) {
+    if (transmit(pred_, NeighborMsg{payload}, payload->message_class())) {
+      return;
+    }
+  }
+  if (app_ != nullptr) {
+    PayloadPtr p = std::move(payload);
+    net_.self_deliver([this, p] { app_->on_deliver(id_, p); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lookup protocol
+// ---------------------------------------------------------------------------
+
+void ChordNode::handle_find_successor(FindSuccessorReq msg) {
+  if (covers(msg.target)) {
+    if (msg.reply_to == id_) {
+      handle_find_successor_reply(
+          FindSuccessorReply{msg.target, id_, msg.req_id});
+      return;
+    }
+    transmit(msg.reply_to, FindSuccessorReply{msg.target, id_, msg.req_id},
+             MessageClass::kControl);
+    return;
+  }
+  if (msg.hops >= config().max_route_hops) {
+    net_.registry().counter("chord.lookup_dropped").inc();
+    return;
+  }
+  for (;;) {
+    if (covers(msg.target)) {
+      handle_find_successor(msg);  // eviction made us the owner
+      return;
+    }
+    const auto nh = next_hop(msg.target);
+    if (!nh) {
+      net_.registry().counter("chord.lookup_no_candidate").inc();
+      return;
+    }
+    FindSuccessorReq out = msg;
+    out.hops = msg.hops + 1;
+    if (transmit(*nh, std::move(out), MessageClass::kControl)) return;
+  }
+}
+
+void ChordNode::handle_find_successor_reply(const FindSuccessorReply& msg) {
+  if (msg.req_id == kJoinReqId) {
+    if (msg.owner == id_ && joining_) {
+      // A stale routing path bounced the lookup back to us before we
+      // were integrated; retry through the bootstrap after a beat.
+      net_.registry().counter("chord.join_retry").inc();
+      const Key bootstrap = join_bootstrap_;
+      net_.sim().schedule_after(sim::sec(1),
+                                [this, bootstrap] { begin_join(bootstrap); });
+      return;
+    }
+    // Join step 2: we found our successor.
+    set_successor_front(msg.owner);
+    if (msg.owner != id_) {
+      transmit(msg.owner, PullStateReq{0, id_, id_},
+               MessageClass::kStateTransfer);
+      transmit(msg.owner, GetNeighborsReq{id_}, MessageClass::kControl);
+      transmit(msg.owner, NotifyPredMsg{}, MessageClass::kControl);
+    }
+    joining_ = false;
+    if (config().stabilize_period > 0) start_maintenance();
+    return;
+  }
+  auto it = pending_finger_fixes_.find(msg.req_id);
+  if (it == pending_finger_fixes_.end()) return;
+  const std::size_t finger = it->second;
+  pending_finger_fixes_.erase(it);
+  fingers_.set(finger, msg.owner);
+}
+
+// ---------------------------------------------------------------------------
+// Stabilization (Chord's periodic maintenance)
+// ---------------------------------------------------------------------------
+
+void ChordNode::start_maintenance() {
+  if (maintenance_timer_ != 0 || config().stabilize_period == 0) return;
+  maintenance_timer_ = net_.sim().add_timer(config().stabilize_period,
+                                            [this] { maintenance_tick(); });
+}
+
+void ChordNode::stop_maintenance() {
+  if (maintenance_timer_ == 0) return;
+  net_.sim().cancel_timer(maintenance_timer_);
+  maintenance_timer_ = 0;
+}
+
+void ChordNode::maintenance_tick() {
+  check_predecessor();
+  stabilize();
+  fix_fingers();
+}
+
+void ChordNode::check_predecessor() {
+  if (!has_pred_ || pred_ == id_) return;
+  // A failed transmit evicts the dead predecessor via on_peer_dead.
+  transmit(pred_, GetNeighborsReq{id_}, MessageClass::kControl);
+}
+
+void ChordNode::stabilize() {
+  while (!succs_.empty()) {
+    const Key s = succs_.front();
+    if (s == id_) {
+      succs_.erase(succs_.begin());
+      continue;
+    }
+    if (transmit(s, GetNeighborsReq{id_}, MessageClass::kControl)) return;
+  }
+}
+
+void ChordNode::fix_fingers() {
+  for (std::size_t i = 0; i < fingers_.size(); ++i) {
+    const Key target = fingers_.start(i);
+    if (covers(target)) {
+      fingers_.set(i, id_);
+      continue;
+    }
+    const std::uint64_t req = next_req_id_++;
+    pending_finger_fixes_[req] = i;
+    handle_find_successor(FindSuccessorReq{target, id_, req, 0});
+  }
+}
+
+void ChordNode::handle_get_neighbors(const GetNeighborsReq& msg) {
+  if (msg.reply_to == id_) return;
+  transmit(msg.reply_to, GetNeighborsReply{has_pred_, pred_, succs_},
+           MessageClass::kControl);
+}
+
+void ChordNode::handle_get_neighbors_reply(const GetNeighborsReply& msg,
+                                           Key from) {
+  if (succs_.empty() || from != succs_.front()) {
+    // A reply from our predecessor's liveness probe or a stale
+    // successor; still useful as a predecessor hint while joining.
+    if (!has_pred_ && msg.has_pred && msg.pred != id_) {
+      adopt_predecessor(msg.pred);
+    }
+    return;
+  }
+  // Standard stabilize: if succ's predecessor sits between us, it is our
+  // better successor.
+  if (msg.has_pred && msg.pred != id_ &&
+      ring().in_open_open(id_, succs_.front(), msg.pred)) {
+    set_successor_front(msg.pred);
+  } else {
+    // Refresh the successor list from the successor's own list.
+    std::vector<Key> fresh{succs_.front()};
+    for (Key s : msg.successors) {
+      if (s == id_) continue;
+      if (std::find(fresh.begin(), fresh.end(), s) == fresh.end()) {
+        fresh.push_back(s);
+      }
+      if (fresh.size() >= config().successor_list_size) break;
+    }
+    succs_ = std::move(fresh);
+  }
+  if (!has_pred_ && msg.has_pred && msg.pred != id_) {
+    adopt_predecessor(msg.pred);
+  }
+  if (!succs_.empty() && succs_.front() != id_) {
+    transmit(succs_.front(), NotifyPredMsg{}, MessageClass::kControl);
+  }
+}
+
+void ChordNode::handle_notify_pred(Key candidate) {
+  if (candidate == id_) return;
+  if (!has_pred_ || ring().in_open_open(pred_, id_, candidate)) {
+    adopt_predecessor(candidate);
+  }
+}
+
+void ChordNode::adopt_predecessor(Key candidate) {
+  if (has_pred_ && candidate == pred_) return;
+  if (has_pred_ && app_ != nullptr &&
+      ring().in_open_open(pred_, id_, candidate)) {
+    // Our covered range shrank from (pred, id] to (candidate, id]; the
+    // keys in (pred, candidate] belong to the new predecessor now and
+    // their state is dropped here (the new owner pulled or received it).
+    app_->export_state(pred_, candidate, /*remove=*/true);
+  }
+  pred_ = candidate;
+  has_pred_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Join / leave
+// ---------------------------------------------------------------------------
+
+void ChordNode::begin_join(Key bootstrap) {
+  CBPS_ASSERT_MSG(bootstrap != id_, "cannot bootstrap from self");
+  joining_ = true;
+  join_bootstrap_ = bootstrap;
+  transmit(bootstrap, FindSuccessorReq{id_, id_, kJoinReqId, 0},
+           MessageClass::kControl);
+}
+
+void ChordNode::handle_pull_state(const PullStateReq& msg) {
+  PayloadPtr st;
+  if (app_ != nullptr) {
+    const Key lo = has_pred_ ? pred_ : id_;
+    st = app_->export_state(lo, msg.range_hi, /*remove=*/false);
+  }
+  transmit(msg.reply_to, StateTransferMsg{std::move(st)},
+           MessageClass::kStateTransfer);
+}
+
+void ChordNode::handle_pred_leave(const PredLeaveMsg& msg, Key from) {
+  // Our predecessor left and handed us its range and state.
+  on_peer_dead(from);
+  if (msg.has_new_pred && msg.new_pred != id_) {
+    pred_ = msg.new_pred;
+    has_pred_ = true;
+  } else {
+    has_pred_ = false;
+  }
+  if (msg.state != nullptr && app_ != nullptr) app_->import_state(msg.state);
+}
+
+void ChordNode::handle_succ_leave(const SuccLeaveMsg& msg, Key from) {
+  on_peer_dead(from);
+  if (msg.new_succ != id_) set_successor_front(msg.new_succ);
+}
+
+void ChordNode::leave_gracefully() {
+  stop_maintenance();
+  const Key succ = successor_id();
+  if (succ == id_) return;  // alone; nothing to hand over
+  PayloadPtr st;
+  if (app_ != nullptr) {
+    const Key lo = has_pred_ ? pred_ : id_;
+    st = app_->export_state(lo, id_, /*remove=*/true);
+  }
+  transmit(succ, PredLeaveMsg{has_pred_, pred_, std::move(st)},
+           MessageClass::kStateTransfer);
+  if (has_pred_ && pred_ != id_) {
+    transmit(pred_, SuccLeaveMsg{succ}, MessageClass::kControl);
+  }
+}
+
+void ChordNode::install_state(std::optional<Key> pred,
+                              std::vector<Key> succs,
+                              std::vector<Key> finger_nodes) {
+  has_pred_ = pred.has_value();
+  pred_ = pred.value_or(0);
+  std::erase(succs, id_);
+  succs_ = std::move(succs);
+  CBPS_ASSERT(finger_nodes.size() == fingers_.size());
+  for (std::size_t i = 0; i < finger_nodes.size(); ++i) {
+    fingers_.set(i, finger_nodes[i]);
+  }
+  joining_ = false;
+}
+
+void ChordNode::set_successor_front(Key s) {
+  if (s == id_) return;
+  std::erase(succs_, s);
+  succs_.insert(succs_.begin(), s);
+  if (succs_.size() > config().successor_list_size) {
+    succs_.resize(config().successor_list_size);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void ChordNode::receive(Envelope env) {
+  // Passive learning: every envelope reveals the sender and its claimed
+  // covered range. Senders with no predecessor are not ring-integrated
+  // (joining nodes) and must not become routing candidates.
+  if (env.from_has_pred) cache_.insert(env.from, env.from_pred);
+
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RouteMsg>) {
+          handle_route(std::move(m));
+        } else if constexpr (std::is_same_v<T, McastMsg>) {
+          handle_mcast(std::move(m));
+        } else if constexpr (std::is_same_v<T, ChainMsg>) {
+          handle_chain(std::move(m));
+        } else if constexpr (std::is_same_v<T, NeighborMsg>) {
+          if (app_ != nullptr) app_->on_deliver(id_, m.payload);
+        } else if constexpr (std::is_same_v<T, OwnerInfoMsg>) {
+          cache_.insert(m.owner, m.owner_range_lo);
+        } else if constexpr (std::is_same_v<T, FindSuccessorReq>) {
+          handle_find_successor(std::move(m));
+        } else if constexpr (std::is_same_v<T, FindSuccessorReply>) {
+          handle_find_successor_reply(m);
+        } else if constexpr (std::is_same_v<T, GetNeighborsReq>) {
+          handle_get_neighbors(m);
+        } else if constexpr (std::is_same_v<T, GetNeighborsReply>) {
+          handle_get_neighbors_reply(m, env.from);
+        } else if constexpr (std::is_same_v<T, NotifyPredMsg>) {
+          handle_notify_pred(env.from);
+        } else if constexpr (std::is_same_v<T, PullStateReq>) {
+          handle_pull_state(m);
+        } else if constexpr (std::is_same_v<T, StateTransferMsg>) {
+          if (m.state != nullptr && app_ != nullptr) {
+            app_->import_state(m.state);
+          }
+        } else if constexpr (std::is_same_v<T, PredLeaveMsg>) {
+          handle_pred_leave(m, env.from);
+        } else if constexpr (std::is_same_v<T, SuccLeaveMsg>) {
+          handle_succ_leave(m, env.from);
+        }
+      },
+      env.msg);
+}
+
+}  // namespace cbps::chord

@@ -1,0 +1,117 @@
+#include "cbps/common/flags.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <iomanip>
+
+namespace cbps {
+
+const FlagParser::Flag* FlagParser::find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagParser::assign(const Flag& flag, const std::string& value,
+                        std::ostream& err) {
+  bool ok = true;
+  std::visit(
+      [&](auto* target) {
+        using T = std::remove_pointer_t<decltype(target)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          if (value == "true" || value == "1" || value.empty()) {
+            *target = true;
+          } else if (value == "false" || value == "0") {
+            *target = false;
+          } else {
+            ok = false;
+          }
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          auto [p, ec] = std::from_chars(value.data(),
+                                         value.data() + value.size(),
+                                         *target);
+          ok = ec == std::errc{} && p == value.data() + value.size();
+        } else if constexpr (std::is_same_v<T, double>) {
+          try {
+            std::size_t pos = 0;
+            *target = std::stod(value, &pos);
+            ok = pos == value.size();
+          } catch (...) {
+            ok = false;
+          }
+        } else {
+          *target = value;
+        }
+      },
+      flag.target);
+  if (!ok) {
+    err << "invalid value for --" << flag.name << ": '" << value << "'\n";
+  }
+  return ok;
+}
+
+bool FlagParser::parse(int argc, const char* const* argv, std::ostream& out,
+                       std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      print_help(out);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      err << "unexpected argument: " << arg << '\n';
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = find(arg);
+    if (flag == nullptr) {
+      err << "unknown flag: --" << arg << '\n';
+      return false;
+    }
+    if (!has_value) {
+      const bool is_bool = std::holds_alternative<bool*>(flag->target);
+      if (is_bool) {
+        // bare boolean flag
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+        has_value = true;
+      } else {
+        err << "missing value for --" << arg << '\n';
+        return false;
+      }
+    }
+    if (!assign(*flag, value, err)) return false;
+  }
+  return true;
+}
+
+void FlagParser::print_help(std::ostream& os) const {
+  os << description_ << "\n\nflags:\n";
+  for (const Flag& f : flags_) {
+    std::string current;
+    std::visit(
+        [&](auto* target) {
+          using T = std::remove_pointer_t<decltype(target)>;
+          if constexpr (std::is_same_v<T, bool>) {
+            current = *target ? "true" : "false";
+          } else if constexpr (std::is_same_v<T, std::string>) {
+            current = *target;
+          } else {
+            current = std::to_string(*target);
+          }
+        },
+        f.target);
+    os << "  --" << std::left << std::setw(22) << f.name << ' ' << f.help
+       << " (default: " << current << ")\n";
+  }
+}
+
+}  // namespace cbps

@@ -1,0 +1,29 @@
+#include "cbps/common/hash.hpp"
+
+namespace cbps {
+
+namespace {
+
+Key digest_to_key(const Sha1::Digest& d, RingParams ring) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return ring.wrap(v);
+}
+
+}  // namespace
+
+Key consistent_hash(std::string_view name, RingParams ring) {
+  return digest_to_key(Sha1::hash(name), ring);
+}
+
+Key consistent_hash(std::uint64_t v, RingParams ring) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+  Sha1 h;
+  h.update(bytes, sizeof bytes);
+  return digest_to_key(h.finish(), ring);
+}
+
+}  // namespace cbps

@@ -1,0 +1,30 @@
+#include "cbps/common/logging.hpp"
+
+namespace cbps {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      break;
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view msg) {
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace cbps

@@ -1,0 +1,28 @@
+#include "cbps/metrics/registry.hpp"
+
+#include <iomanip>
+
+namespace cbps::metrics {
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void Registry::reset_all() {
+  for (auto& [_, c] : counters_) c.reset();
+  stats_.clear();
+}
+
+void Registry::print(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    os << std::left << std::setw(44) << name << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, s] : stats_) {
+    os << std::left << std::setw(44) << name << " count=" << s.count()
+       << " mean=" << s.mean() << " min=" << s.min() << " max=" << s.max()
+       << '\n';
+  }
+}
+
+}  // namespace cbps::metrics

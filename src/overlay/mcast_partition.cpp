@@ -1,0 +1,44 @@
+#include "cbps/overlay/mcast_partition.hpp"
+
+#include <algorithm>
+
+#include "cbps/common/assert.hpp"
+
+namespace cbps::overlay {
+
+McastPartition partition_mcast_targets(
+    RingParams ring, Key self, const std::function<bool(Key)>& covers,
+    std::vector<Key> targets, const std::vector<Key>& candidates) {
+  McastPartition out;
+  out.delegated.resize(candidates.size());
+
+  std::sort(targets.begin(), targets.end(), [&](Key a, Key b) {
+    return ring.distance(self, a) < ring.distance(self, b);
+  });
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+  for (Key k : targets) {
+    if (covers(k)) {
+      out.local.push_back(k);
+      continue;
+    }
+    if (candidates.empty()) {
+      out.undeliverable.push_back(k);
+      continue;
+    }
+    std::size_t chosen = 0;
+    if (!ring.in_open_closed(self, candidates.front(), k)) {
+      const std::uint64_t dk = ring.distance(self, k);
+      for (std::size_t j = candidates.size(); j-- > 1;) {
+        if (ring.distance(self, candidates[j]) < dk) {
+          chosen = j;
+          break;
+        }
+      }
+    }
+    out.delegated[chosen].push_back(k);
+  }
+  return out;
+}
+
+}  // namespace cbps::overlay

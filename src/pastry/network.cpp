@@ -1,0 +1,131 @@
+#include <algorithm>
+#include <utility>
+
+#include "cbps/common/hash.hpp"
+#include "cbps/pastry/pastry.hpp"
+
+namespace cbps::pastry {
+
+PastryNetwork::PastryNetwork(sim::Simulator& sim, PastryConfig cfg,
+                             std::uint64_t seed,
+                             std::unique_ptr<sim::LatencyModel> latency)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(seed),
+      latency_(latency ? std::move(latency) : sim::default_latency()) {}
+
+PastryNode& PastryNetwork::add_node(const std::string& name) {
+  Key id = consistent_hash(name, cfg_.ring);
+  int salt = 0;
+  while (nodes_.contains(id)) {
+    id = consistent_hash(name + "#" + std::to_string(salt++), cfg_.ring);
+  }
+  return add_node_with_id(id, name);
+}
+
+PastryNode& PastryNetwork::add_node_with_id(Key id, std::string name) {
+  CBPS_ASSERT(!nodes_.contains(id));
+  auto node = std::make_unique<PastryNode>(*this, id, std::move(name));
+  PastryNode& ref = *node;
+  nodes_.emplace(id, std::move(node));
+  ids_.insert(id);
+  return ref;
+}
+
+void PastryNetwork::build_static_ring() {
+  const std::vector<Key> sorted(ids_.begin(), ids_.end());
+  const std::size_t n = sorted.size();
+  CBPS_ASSERT(n > 0);
+  const unsigned m = cfg_.ring.bits();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key id = sorted[i];
+
+    std::vector<Key> pred;
+    std::vector<Key> succ;
+    for (std::size_t j = 1; j <= cfg_.leaf_set_size && j < n; ++j) {
+      pred.push_back(sorted[(i + n - j) % n]);
+      succ.push_back(sorted[(i + j) % n]);
+    }
+
+    // Routing table: row r holds some node sharing the top r bits with
+    // `id` and differing at bit r (bit 0 = most significant). The id
+    // subtree with that prefix is a contiguous key interval.
+    std::vector<std::optional<Key>> table(m);
+    for (unsigned r = 0; r < m; ++r) {
+      const unsigned low_bits = m - r - 1;
+      const Key prefix = id >> (low_bits + 1);
+      const Key flipped_bit = ((id >> low_bits) & 1) ^ 1;
+      const Key lo = ((prefix << 1) | flipped_bit) << low_bits;
+      const Key hi = lo | ((Key{1} << low_bits) - 1);
+      auto it = ids_.lower_bound(lo);
+      if (it != ids_.end() && *it <= hi) {
+        table[r] = *it;
+      }
+    }
+    nodes_.at(id)->install_state(std::move(pred), std::move(succ),
+                                 std::move(table));
+  }
+}
+
+PastryNode* PastryNetwork::node(Key id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Key> PastryNetwork::ids() const {
+  return {ids_.begin(), ids_.end()};
+}
+
+PastryNode& PastryNetwork::node_at(std::size_t i) {
+  CBPS_ASSERT(i < ids_.size());
+  auto it = ids_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(i));
+  return *nodes_.at(*it);
+}
+
+Key PastryNetwork::oracle_successor(Key key) const {
+  CBPS_ASSERT(!ids_.empty());
+  auto it = ids_.lower_bound(key);
+  return it == ids_.end() ? *ids_.begin() : *it;
+}
+
+namespace {
+
+std::size_t wire_size_bytes(const WireMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RouteMsg>) {
+          return m.payload->size_bytes() + 8;
+        } else if constexpr (std::is_same_v<T, McastMsg> ||
+                             std::is_same_v<T, ChainMsg>) {
+          return m.payload->size_bytes() + 8 * m.targets.size();
+        } else {
+          return m.payload->size_bytes();
+        }
+      },
+      msg);
+}
+
+}  // namespace
+
+bool PastryNetwork::transmit(Key from, Key to, WireMessage msg,
+                             overlay::MessageClass cls) {
+  (void)from;
+  if (!ids_.contains(to)) return false;
+  traffic_.record_hop(cls, wire_size_bytes(msg));
+  auto boxed = std::make_shared<WireMessage>(std::move(msg));
+  const sim::SimTime delay = latency_->sample(rng_);
+  sim_.schedule_after(delay, [this, to, boxed] {
+    if (!ids_.contains(to)) return;
+    nodes_.at(to)->receive(std::move(*boxed));
+  });
+  return true;
+}
+
+void PastryNetwork::self_deliver(std::function<void()> action) {
+  sim_.schedule_after(0, std::move(action));
+}
+
+}  // namespace cbps::pastry

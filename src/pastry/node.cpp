@@ -1,0 +1,305 @@
+#include <algorithm>
+
+#include "cbps/common/hash.hpp"
+#include "cbps/common/logging.hpp"
+#include "cbps/overlay/mcast_partition.hpp"
+#include "cbps/pastry/pastry.hpp"
+
+namespace cbps::pastry {
+
+using overlay::MessageClass;
+using overlay::PayloadPtr;
+
+PastryNode::PastryNode(PastryNetwork& net, Key id, std::string name)
+    : net_(net), id_(id), name_(std::move(name)) {
+  table_.resize(net_.ring().bits());
+}
+
+RingParams PastryNode::ring() const { return net_.ring(); }
+const PastryConfig& PastryNode::config() const { return net_.config(); }
+
+Key PastryNode::successor_id() const {
+  return leaf_succ_.empty() ? id_ : leaf_succ_.front();
+}
+
+Key PastryNode::predecessor_id() const {
+  return leaf_pred_.empty() ? id_ : leaf_pred_.front();
+}
+
+bool PastryNode::covers(Key k) const {
+  if (leaf_pred_.empty()) return true;  // alone in the overlay
+  return ring().in_open_closed(leaf_pred_.front(), id_, k);
+}
+
+void PastryNode::install_state(std::vector<Key> leaf_pred,
+                               std::vector<Key> leaf_succ,
+                               std::vector<std::optional<Key>> table) {
+  CBPS_ASSERT(table.size() == ring().bits());
+  leaf_pred_ = std::move(leaf_pred);
+  leaf_succ_ = std::move(leaf_succ);
+  table_ = std::move(table);
+}
+
+bool PastryNode::transmit(Key to, WireMessage msg, MessageClass cls) {
+  CBPS_ASSERT_MSG(to != id_, "self-transmit must be a local delivery");
+  return net_.transmit(id_, to, std::move(msg), cls);
+}
+
+unsigned PastryNode::shared_prefix_bits(Key key) const {
+  const unsigned m = ring().bits();
+  const Key diff = (key ^ id_) & ring().max_key();
+  if (diff == 0) return m;
+  unsigned shared = 0;
+  for (unsigned bit = m; bit-- > 0;) {
+    if ((diff >> bit) & 1) break;
+    ++shared;
+  }
+  return shared;
+}
+
+std::vector<Key> PastryNode::known_nodes_by_distance() const {
+  std::vector<Key> nodes;
+  nodes.insert(nodes.end(), leaf_succ_.begin(), leaf_succ_.end());
+  nodes.insert(nodes.end(), leaf_pred_.begin(), leaf_pred_.end());
+  for (const auto& e : table_) {
+    if (e) nodes.push_back(*e);
+  }
+  std::sort(nodes.begin(), nodes.end(), [this](Key a, Key b) {
+    return ring().distance(id_, a) < ring().distance(id_, b);
+  });
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::erase(nodes, id_);
+  return nodes;
+}
+
+std::optional<Key> PastryNode::next_hop(Key key) const {
+  if (covers(key)) return std::nullopt;
+
+  // Leaf-set completion: if the key falls inside the leaf span, hand it
+  // to the leaf that covers it (successor-of-key among the leaves).
+  if (!leaf_succ_.empty() &&
+      ring().in_open_closed(id_, leaf_succ_.back(), key)) {
+    for (Key l : leaf_succ_) {
+      if (ring().in_open_closed(id_, l, key)) return l;
+    }
+  }
+
+  // Prefix routing: the row-r entry shares r bits with us and differs at
+  // bit r; if `key` also differs from us exactly at bit r, that entry is
+  // one prefix digit closer to key.
+  const unsigned shared = shared_prefix_bits(key);
+  if (shared < ring().bits() && table_[shared]) {
+    return table_[shared];
+  }
+
+  // Rare case: no table entry — fall back to the closest known node
+  // strictly preceding the key (guaranteed ring progress, like Chord).
+  std::optional<Key> best;
+  std::uint64_t best_dist = 0;
+  for (Key c : known_nodes_by_distance()) {
+    if (!ring().in_open_closed(id_, key, c)) continue;
+    const std::uint64_t d = ring().distance(id_, c);
+    if (!best || d > best_dist) {
+      best = c;
+      best_dist = d;
+    }
+  }
+  if (best) return best;
+  if (!leaf_succ_.empty()) return leaf_succ_.front();
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Unicast
+// ---------------------------------------------------------------------------
+
+void PastryNode::send(Key key, PayloadPtr payload) {
+  RouteMsg msg{key, std::move(payload), 0};
+  if (covers(key)) {
+    net_.self_deliver([this, msg = std::move(msg)] { deliver_route(msg); });
+    return;
+  }
+  handle_route(std::move(msg));
+}
+
+void PastryNode::deliver_route(const RouteMsg& msg) {
+  const MessageClass cls = msg.payload->message_class();
+  net_.traffic().record_delivery(cls);
+  net_.traffic().record_route_complete(cls, msg.hops);
+  if (app_ != nullptr) app_->on_deliver(msg.target, msg.payload);
+}
+
+void PastryNode::handle_route(RouteMsg msg) {
+  if (covers(msg.target)) {
+    deliver_route(msg);
+    return;
+  }
+  if (msg.hops >= config().max_route_hops) {
+    net_.registry().counter("pastry.route_dropped").inc();
+    return;
+  }
+  const auto nh = next_hop(msg.target);
+  if (!nh) {
+    net_.registry().counter("pastry.route_no_candidate").inc();
+    return;
+  }
+  const MessageClass cls = msg.payload->message_class();
+  RouteMsg out = std::move(msg);
+  ++out.hops;
+  transmit(*nh, std::move(out), cls);
+}
+
+// ---------------------------------------------------------------------------
+// m-cast / chain
+// ---------------------------------------------------------------------------
+
+void PastryNode::m_cast(std::vector<Key> keys, PayloadPtr payload) {
+  if (keys.empty()) return;
+  run_mcast(std::move(keys), payload, 0, /*initiator=*/true);
+}
+
+void PastryNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
+                           std::uint32_t hops, bool initiator) {
+  if (hops >= config().max_route_hops) {
+    net_.registry().counter("pastry.mcast_dropped_keys").inc(keys.size());
+    return;
+  }
+  const std::vector<Key> candidates = known_nodes_by_distance();
+  const overlay::McastPartition part = overlay::partition_mcast_targets(
+      ring(), id_, [this](Key k) { return covers(k); }, std::move(keys),
+      candidates);
+
+  if (!part.local.empty() && app_ != nullptr) {
+    const MessageClass cls = payload->message_class();
+    net_.traffic().record_delivery(cls);
+    if (initiator) {
+      PayloadPtr p = payload;
+      std::vector<Key> covered = part.local;
+      net_.self_deliver([this, covered = std::move(covered), p] {
+        app_->on_deliver_mcast(covered, p);
+      });
+    } else {
+      app_->on_deliver_mcast(part.local, payload);
+    }
+  }
+  if (!part.undeliverable.empty()) {
+    net_.registry()
+        .counter("pastry.mcast_dropped_keys")
+        .inc(part.undeliverable.size());
+  }
+  const MessageClass cls = payload->message_class();
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (part.delegated[j].empty()) continue;
+    transmit(candidates[j], McastMsg{part.delegated[j], payload, hops + 1},
+             cls);
+  }
+}
+
+void PastryNode::chain_cast(std::vector<Key> keys, PayloadPtr payload) {
+  if (keys.empty()) return;
+  run_chain(std::move(keys), payload, 0, /*initiator=*/true);
+}
+
+void PastryNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
+                           std::uint32_t hops, bool initiator) {
+  std::sort(keys.begin(), keys.end(), [this](Key a, Key b) {
+    return ring().distance(id_, a) < ring().distance(id_, b);
+  });
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<Key> covered;
+  std::vector<Key> remaining;
+  for (Key k : keys) (covers(k) ? covered : remaining).push_back(k);
+
+  if (!covered.empty() && app_ != nullptr) {
+    const MessageClass cls = payload->message_class();
+    net_.traffic().record_delivery(cls);
+    if (initiator) {
+      PayloadPtr p = payload;
+      net_.self_deliver(
+          [this, covered, p] { app_->on_deliver_mcast(covered, p); });
+    } else {
+      app_->on_deliver_mcast(covered, payload);
+    }
+  }
+  if (remaining.empty()) return;
+  forward_chain(ChainMsg{std::move(remaining), payload, hops});
+}
+
+void PastryNode::forward_chain(ChainMsg msg) {
+  if (msg.hops >= config().max_route_hops) {
+    net_.registry().counter("pastry.chain_dropped").inc();
+    return;
+  }
+  if (covers(msg.targets.front())) {
+    run_chain(std::move(msg.targets), msg.payload, msg.hops,
+              /*initiator=*/false);
+    return;
+  }
+  const auto nh = next_hop(msg.targets.front());
+  if (!nh) {
+    net_.registry().counter("pastry.chain_no_candidate").inc();
+    return;
+  }
+  const MessageClass cls = msg.payload->message_class();
+  ChainMsg out = std::move(msg);
+  ++out.hops;
+  transmit(*nh, std::move(out), cls);
+}
+
+// ---------------------------------------------------------------------------
+// Neighbor sends
+// ---------------------------------------------------------------------------
+
+void PastryNode::send_to_successor(PayloadPtr payload) {
+  if (!leaf_succ_.empty()) {
+    const MessageClass cls = payload->message_class();
+    transmit(leaf_succ_.front(), NeighborMsg{std::move(payload)}, cls);
+    return;
+  }
+  if (app_ != nullptr) {
+    PayloadPtr p = std::move(payload);
+    net_.self_deliver([this, p] { app_->on_deliver(id_, p); });
+  }
+}
+
+void PastryNode::send_to_predecessor(PayloadPtr payload) {
+  if (!leaf_pred_.empty()) {
+    const MessageClass cls = payload->message_class();
+    transmit(leaf_pred_.front(), NeighborMsg{std::move(payload)}, cls);
+    return;
+  }
+  if (app_ != nullptr) {
+    PayloadPtr p = std::move(payload);
+    net_.self_deliver([this, p] { app_->on_deliver(id_, p); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void PastryNode::receive(WireMessage msg) {
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RouteMsg>) {
+          handle_route(std::move(m));
+        } else if constexpr (std::is_same_v<T, McastMsg>) {
+          run_mcast(std::move(m.targets), m.payload, m.hops,
+                    /*initiator=*/false);
+        } else if constexpr (std::is_same_v<T, ChainMsg>) {
+          if (covers(m.targets.front())) {
+            run_chain(std::move(m.targets), m.payload, m.hops,
+                      /*initiator=*/false);
+          } else {
+            forward_chain(std::move(m));
+          }
+        } else if constexpr (std::is_same_v<T, NeighborMsg>) {
+          if (app_ != nullptr) app_->on_deliver(id_, m.payload);
+        }
+      },
+      msg);
+}
+
+}  // namespace cbps::pastry

@@ -1,0 +1,92 @@
+#include "cbps/pubsub/counting_index.hpp"
+
+#include <algorithm>
+
+namespace cbps::pubsub {
+
+CountingIndex::CountingIndex(const Schema& schema,
+                             std::size_t buckets_per_attribute)
+    : schema_(schema), buckets_per_attribute_(buckets_per_attribute) {
+  CBPS_ASSERT(buckets_per_attribute_ >= 1);
+  buckets_.resize(schema_.dimensions());
+  for (auto& attr_buckets : buckets_) {
+    attr_buckets.resize(buckets_per_attribute_);
+  }
+}
+
+std::size_t CountingIndex::bucket_of(std::size_t attr, Value v) const {
+  const ClosedInterval dom = schema_.domain(attr);
+  CBPS_ASSERT(dom.contains(v));
+  const auto offset = static_cast<std::uint64_t>(v - dom.lo);
+  return static_cast<std::size_t>(
+      static_cast<Uint128>(offset) * buckets_per_attribute_ / dom.width());
+}
+
+bool CountingIndex::insert(const SubscriptionPtr& sub) {
+  CBPS_ASSERT(sub != nullptr);
+  CBPS_ASSERT_MSG(sub->valid_for(schema_), "subscription/schema mismatch");
+  const auto [it, inserted] = subs_.emplace(
+      sub->id,
+      SubInfo{sub, static_cast<std::uint32_t>(sub->constraints.size())});
+  if (!inserted) return false;
+
+  if (sub->constraints.empty()) {
+    match_all_.push_back(sub->id);
+    return true;
+  }
+  for (const Constraint& c : sub->constraints) {
+    const ClosedInterval clamped =
+        *c.range.intersect(schema_.domain(c.attribute));
+    const std::size_t first = bucket_of(c.attribute, clamped.lo);
+    const std::size_t last = bucket_of(c.attribute, clamped.hi);
+    for (std::size_t b = first; b <= last; ++b) {
+      buckets_[c.attribute][b].push_back(Entry{sub->id, c.range});
+    }
+  }
+  return true;
+}
+
+bool CountingIndex::remove(SubscriptionId id) {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  const SubscriptionPtr sub = it->second.sub;
+  subs_.erase(it);
+
+  if (sub->constraints.empty()) {
+    std::erase(match_all_, id);
+    return true;
+  }
+  for (const Constraint& c : sub->constraints) {
+    const ClosedInterval clamped =
+        *c.range.intersect(schema_.domain(c.attribute));
+    const std::size_t first = bucket_of(c.attribute, clamped.lo);
+    const std::size_t last = bucket_of(c.attribute, clamped.hi);
+    for (std::size_t b = first; b <= last; ++b) {
+      std::erase_if(buckets_[c.attribute][b],
+                    [id](const Entry& e) { return e.id == id; });
+    }
+  }
+  return true;
+}
+
+std::vector<SubscriptionId> CountingIndex::match(const Event& e) const {
+  CBPS_ASSERT(e.values.size() == schema_.dimensions());
+  std::unordered_map<SubscriptionId, std::uint32_t> counts;
+  for (std::size_t attr = 0; attr < schema_.dimensions(); ++attr) {
+    const Value v = e.values[attr];
+    if (!schema_.domain(attr).contains(v)) continue;
+    const auto& bucket = buckets_[attr][bucket_of(attr, v)];
+    for (const Entry& entry : bucket) {
+      if (entry.range.contains(v)) ++counts[entry.id];
+    }
+  }
+  std::vector<SubscriptionId> out(match_all_);
+  for (const auto& [id, satisfied] : counts) {
+    const auto it = subs_.find(id);
+    CBPS_ASSERT(it != subs_.end());
+    if (satisfied == it->second.constraint_count) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cbps::pubsub

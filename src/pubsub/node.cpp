@@ -1,0 +1,415 @@
+#include "cbps/pubsub/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cbps/common/logging.hpp"
+
+namespace cbps::pubsub {
+
+using overlay::PayloadPtr;
+
+PubSubNode::PubSubNode(overlay::OverlayNode& overlay, sim::Simulator& sim,
+                       const AkMapping& mapping, PubSubConfig cfg)
+    : overlay_(overlay), sim_(sim), mapping_(mapping), cfg_(cfg) {
+  if (cfg_.match_engine == MatchEngine::kCountingIndex) {
+    store_.use_counting_index(mapping_.schema());
+  }
+  overlay_.set_app(this);
+}
+
+PubSubNode::~PubSubNode() = default;
+
+// ---------------------------------------------------------------------------
+// Application API
+// ---------------------------------------------------------------------------
+
+void PubSubNode::send_to_keys(const std::vector<Key>& keys,
+                              PayloadPtr payload,
+                              PubSubConfig::Transport transport) {
+  if (keys.empty()) return;
+  switch (transport) {
+    case PubSubConfig::Transport::kUnicast:
+      for (Key k : keys) overlay_.send(k, payload);
+      break;
+    case PubSubConfig::Transport::kMulticast:
+      overlay_.m_cast(keys, std::move(payload));
+      break;
+    case PubSubConfig::Transport::kChain:
+      overlay_.chain_cast(keys, std::move(payload));
+      break;
+  }
+}
+
+void PubSubNode::subscribe(SubscriptionPtr sub, sim::SimTime ttl) {
+  CBPS_ASSERT(sub != nullptr && sub->id != 0);
+  CBPS_ASSERT_MSG(sub->subscriber == overlay_.id(),
+                  "subscription's subscriber key must be this node");
+  own_subs_[sub->id] = sub;
+
+  const std::vector<Key> keys = mapping_.subscription_keys(*sub);
+  const sim::SimTime expiry =
+      ttl == sim::kSimTimeNever ? sim::kSimTimeNever : sim_.now() + ttl;
+  auto msg = std::make_shared<SubscribeMsg>(
+      sub, expiry, mapping_.subscription_ranges(*sub));
+  send_to_keys(keys, std::move(msg), cfg_.sub_transport);
+}
+
+void PubSubNode::unsubscribe(SubscriptionId id) {
+  auto it = own_subs_.find(id);
+  if (it == own_subs_.end()) return;
+  const std::vector<Key> keys = mapping_.subscription_keys(*it->second);
+  send_to_keys(keys, std::make_shared<UnsubscribeMsg>(id),
+               cfg_.sub_transport);
+  own_subs_.erase(it);
+}
+
+void PubSubNode::publish(EventPtr event) {
+  CBPS_ASSERT(event != nullptr && event->id != 0);
+  const std::vector<Key> keys = mapping_.event_keys(*event);
+  send_to_keys(keys,
+               std::make_shared<PublishMsg>(event, overlay_.id(),
+                                            sim_.now()),
+               cfg_.pub_transport);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery dispatch
+// ---------------------------------------------------------------------------
+
+void PubSubNode::on_deliver(Key key, const PayloadPtr& payload) {
+  const Key covered[] = {key};
+  dispatch(covered, payload);
+}
+
+void PubSubNode::on_deliver_mcast(std::span<const Key> covered,
+                                  const PayloadPtr& payload) {
+  dispatch(covered, payload);
+}
+
+void PubSubNode::dispatch(std::span<const Key> covered,
+                          const PayloadPtr& payload) {
+  if (auto* pub = dynamic_cast<const PublishMsg*>(payload.get())) {
+    handle_publish(*pub, covered);
+  } else if (auto* sub = dynamic_cast<const SubscribeMsg*>(payload.get())) {
+    handle_subscribe(*sub);
+  } else if (auto* notify = dynamic_cast<const NotifyMsg*>(payload.get())) {
+    handle_notify(*notify);
+  } else if (auto* collect =
+                 dynamic_cast<const CollectMsg*>(payload.get())) {
+    handle_collect(*collect);
+  } else if (auto* unsub =
+                 dynamic_cast<const UnsubscribeMsg*>(payload.get())) {
+    handle_unsubscribe(*unsub);
+  } else if (auto* rep = dynamic_cast<const ReplicaMsg*>(payload.get())) {
+    handle_replica(*rep);
+  } else if (auto* rrm =
+                 dynamic_cast<const ReplicaRemoveMsg*>(payload.get())) {
+    handle_replica_remove(*rrm);
+  } else if (auto* st = dynamic_cast<const StateMsg*>(payload.get())) {
+    import_state(payload);
+    (void)st;
+  } else {
+    CBPS_LOG_WARN << "pubsub node " << overlay_.id()
+                  << ": unknown payload type dropped";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous-side handling
+// ---------------------------------------------------------------------------
+
+void PubSubNode::handle_subscribe(const SubscribeMsg& msg) {
+  SubscriptionStore::Record rec{msg.sub, msg.expires_at, msg.ranges,
+                                /*replica=*/false};
+  const bool fresh = store_.insert(rec);
+  if (msg.expires_at != sim::kSimTimeNever) schedule_sweep();
+  if (fresh && cfg_.replication_factor > 0) {
+    overlay_.send_to_successor(std::make_shared<ReplicaMsg>(
+        StoredSubRecord{msg.sub, msg.expires_at, msg.ranges},
+        cfg_.replication_factor));
+  }
+}
+
+void PubSubNode::handle_unsubscribe(const UnsubscribeMsg& msg) {
+  const bool removed = store_.remove(msg.sub_id);
+  if (removed && cfg_.replication_factor > 0) {
+    overlay_.send_to_successor(std::make_shared<ReplicaRemoveMsg>(
+        msg.sub_id, cfg_.replication_factor));
+  }
+}
+
+void PubSubNode::handle_replica(const ReplicaMsg& msg) {
+  store_.insert(SubscriptionStore::Record{msg.record.sub,
+                                          msg.record.expires_at,
+                                          msg.record.ranges,
+                                          /*replica=*/true});
+  if (msg.record.expires_at != sim::kSimTimeNever) schedule_sweep();
+  if (msg.remaining_hops > 1) {
+    overlay_.send_to_successor(
+        std::make_shared<ReplicaMsg>(msg.record, msg.remaining_hops - 1));
+  }
+}
+
+void PubSubNode::handle_replica_remove(const ReplicaRemoveMsg& msg) {
+  store_.remove(msg.sub_id);
+  if (msg.remaining_hops > 1) {
+    overlay_.send_to_successor(std::make_shared<ReplicaRemoveMsg>(
+        msg.sub_id, msg.remaining_hops - 1));
+  }
+}
+
+void PubSubNode::handle_publish(const PublishMsg& msg,
+                                std::span<const Key> covered) {
+  const auto matches = store_.match(*msg.event, sim_.now());
+  for (const SubscriptionStore::Record* rec : matches) {
+    // Mapping-level exactly-once filter: with multi-key EK mappings
+    // (Selective-Attribute) only the rendezvous holding the
+    // subscription's own selective key notifies.
+    const bool responsible = std::any_of(
+        covered.begin(), covered.end(), [&](Key k) {
+          return mapping_.should_notify(*rec->sub, *msg.event, k);
+        });
+    if (!responsible) continue;
+    route_match(*rec, msg.event, msg.published_at);
+  }
+}
+
+void PubSubNode::handle_notify(const NotifyMsg& msg) {
+  for (const Notification& n : msg.batch) {
+    ++notifications_received_;
+    notification_delay_.add(
+        sim::to_seconds(sim_.now() - n.published_at));
+    if (sink_) sink_(msg.subscriber, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Notification paths: immediate, buffered, collected (§4.3.2)
+// ---------------------------------------------------------------------------
+
+void PubSubNode::route_match(const SubscriptionStore::Record& rec,
+                             EventPtr event, sim::SimTime published_at) {
+  Notification n{std::move(event), rec.sub->id, published_at};
+  const Key subscriber = rec.sub->subscriber;
+
+  if (cfg_.collecting) {
+    const KeyRange* range = my_range_for(rec);
+    if (range != nullptr && range->size(overlay_.ring()) > 1 &&
+        !is_agent_for(*range)) {
+      enqueue_collect(CollectItem{*range, subscriber, std::move(n)});
+      return;
+    }
+    // We are the agent (or the range is degenerate): buffer and flush
+    // periodically toward the subscriber.
+    buffer_notification(subscriber, std::move(n));
+    return;
+  }
+  if (cfg_.buffering) {
+    buffer_notification(subscriber, std::move(n));
+    return;
+  }
+  ++notify_batches_sent_;
+  ++notifications_sent_;
+  overlay_.send(subscriber, std::make_shared<NotifyMsg>(
+                                subscriber, std::vector<Notification>{
+                                                std::move(n)}));
+}
+
+void PubSubNode::buffer_notification(Key subscriber, Notification n) {
+  notify_buffer_[subscriber].push_back(std::move(n));
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_.schedule_after(cfg_.buffer_period, [this] {
+      flush_scheduled_ = false;
+      flush_notify_buffer();
+    });
+  }
+}
+
+void PubSubNode::flush_notify_buffer() {
+  for (auto& [subscriber, batch] : notify_buffer_) {
+    if (batch.empty()) continue;
+    ++notify_batches_sent_;
+    notifications_sent_ += batch.size();
+    overlay_.send(subscriber,
+                  std::make_shared<NotifyMsg>(subscriber, std::move(batch)));
+  }
+  notify_buffer_.clear();
+}
+
+void PubSubNode::enqueue_collect(CollectItem item) {
+  auto& queue =
+      agent_toward_successor(item.range) ? collect_to_succ_ : collect_to_pred_;
+  queue.push_back(std::move(item));
+  if (!collect_scheduled_) {
+    collect_scheduled_ = true;
+    sim_.schedule_after(cfg_.buffer_period, [this] {
+      collect_scheduled_ = false;
+      flush_collect_buffers();
+    });
+  }
+}
+
+void PubSubNode::flush_collect_buffers() {
+  // One message per direction regardless of how many subscriptions are
+  // involved: "the cost of exchanging notifications between neighbor
+  // nodes is amortized across all stored subscriptions" (§4.3.2).
+  if (!collect_to_succ_.empty()) {
+    overlay_.send_to_successor(
+        std::make_shared<CollectMsg>(std::move(collect_to_succ_)));
+    collect_to_succ_.clear();
+  }
+  if (!collect_to_pred_.empty()) {
+    overlay_.send_to_predecessor(
+        std::make_shared<CollectMsg>(std::move(collect_to_pred_)));
+    collect_to_pred_.clear();
+  }
+}
+
+void PubSubNode::handle_collect(const CollectMsg& msg) {
+  for (const CollectItem& item : msg.items) {
+    if (is_agent_for(item.range)) {
+      buffer_notification(item.subscriber, item.notification);
+    } else {
+      // Keep moving toward the agent; re-batched with our own pending
+      // items on the next flush.
+      enqueue_collect(item);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expiration (simulated unsubscriptions, §5.1)
+// ---------------------------------------------------------------------------
+
+void PubSubNode::schedule_sweep() {
+  const sim::SimTime next = store_.next_expiry();
+  if (next == sim::kSimTimeNever) return;
+  const sim::SimTime at = std::max(next, sim_.now());
+  if (sweep_scheduled_ && sweep_at_ <= at) return;
+  sweep_scheduled_ = true;
+  sweep_at_ = at;
+  sim_.schedule_at(at, [this, at] {
+    if (sweep_at_ != at) return;  // superseded by an earlier sweep
+    sweep_scheduled_ = false;
+    sweep_at_ = sim::kSimTimeNever;
+    sweep_expired();
+  });
+}
+
+void PubSubNode::sweep_expired() {
+  store_.sweep_expired(sim_.now());
+  schedule_sweep();  // re-arm for the next earliest expiry, if any
+}
+
+// ---------------------------------------------------------------------------
+// Collecting geometry
+// ---------------------------------------------------------------------------
+
+bool PubSubNode::covers_key(Key k) const {
+  const RingParams ring = overlay_.ring();
+  const Key pred = overlay_.predecessor_id();
+  if (pred == overlay_.id()) return true;  // whole ring
+  return ring.in_open_closed(pred, overlay_.id(), k);
+}
+
+bool PubSubNode::coverage_intersects(const KeyRange& r) const {
+  const RingParams ring = overlay_.ring();
+  const Key pred = overlay_.predecessor_id();
+  if (pred == overlay_.id()) return true;
+  // (pred, id] and [r.lo, r.hi] intersect iff either contains the
+  // other's first element.
+  return ring.in_open_closed(pred, overlay_.id(), r.lo) ||
+         ring.in_closed_closed(r.lo, r.hi, ring.add(pred, 1));
+}
+
+const KeyRange* PubSubNode::my_range_for(
+    const SubscriptionStore::Record& rec) const {
+  for (const KeyRange& r : rec.ranges) {
+    if (coverage_intersects(r)) return &r;
+  }
+  return nullptr;
+}
+
+bool PubSubNode::is_agent_for(const KeyRange& r) const {
+  return covers_key(overlay_.ring().midpoint(r.lo, r.hi));
+}
+
+bool PubSubNode::agent_toward_successor(const KeyRange& r) const {
+  const RingParams ring = overlay_.ring();
+  const Key mid = ring.midpoint(r.lo, r.hi);
+  const Key pos =
+      ring.in_closed_closed(r.lo, r.hi, overlay_.id()) ? overlay_.id() : r.hi;
+  return ring.distance(r.lo, pos) < ring.distance(r.lo, mid);
+}
+
+// ---------------------------------------------------------------------------
+// State handover (joins / leaves, §4.1)
+// ---------------------------------------------------------------------------
+
+overlay::PayloadPtr PubSubNode::export_state(Key range_lo, Key range_hi,
+                                             bool remove) {
+  const RingParams ring = overlay_.ring();
+  const auto in_handed_range = [&](const KeyRange& r) {
+    // (range_lo, range_hi] vs [r.lo, r.hi]
+    return ring.in_open_closed(range_lo, range_hi, r.lo) ||
+           ring.in_closed_closed(r.lo, r.hi, ring.add(range_lo, 1));
+  };
+
+  std::vector<StoredSubRecord> out;
+  store_.for_each([&](const SubscriptionStore::Record& rec) {
+    if (rec.replica) {
+      // The receiver is taking over (part of) our ring position, which
+      // makes it a better-placed holder for every replica chain we
+      // participate in; hand replicas over as replicas. We keep our own
+      // copies too (extra copies are harmless: a replica only ever
+      // matches events once its holder legitimately covers their keys).
+      out.push_back({rec.sub, rec.expires_at, rec.ranges, true});
+      return;
+    }
+    if (std::any_of(rec.ranges.begin(), rec.ranges.end(), in_handed_range)) {
+      out.push_back({rec.sub, rec.expires_at, rec.ranges, false});
+    }
+  });
+
+  if (remove) {
+    // Keep records that still intersect our remaining coverage
+    // (range_hi, id]; when the whole range is handed away (leave),
+    // nothing remains.
+    const bool nothing_left = range_hi == overlay_.id();
+    store_.remove_if([&](const SubscriptionStore::Record& rec) {
+      if (rec.replica) return false;
+      if (!std::any_of(rec.ranges.begin(), rec.ranges.end(),
+                       in_handed_range)) {
+        return false;
+      }
+      if (nothing_left) return true;
+      const auto in_remaining = [&](const KeyRange& r) {
+        return ring.in_open_closed(range_hi, overlay_.id(), r.lo) ||
+               ring.in_closed_closed(r.lo, r.hi, ring.add(range_hi, 1));
+      };
+      return !std::any_of(rec.ranges.begin(), rec.ranges.end(),
+                          in_remaining);
+    });
+  }
+  return std::make_shared<StateMsg>(std::move(out));
+}
+
+void PubSubNode::import_state(const overlay::PayloadPtr& state) {
+  const auto* msg = dynamic_cast<const StateMsg*>(state.get());
+  if (msg == nullptr) {
+    CBPS_LOG_WARN << "pubsub node " << overlay_.id()
+                  << ": unexpected state payload";
+    return;
+  }
+  bool any_expiring = false;
+  for (const StoredSubRecord& rec : msg->records) {
+    store_.insert(SubscriptionStore::Record{rec.sub, rec.expires_at,
+                                            rec.ranges, rec.replica});
+    any_expiring |= rec.expires_at != sim::kSimTimeNever;
+  }
+  if (any_expiring) schedule_sweep();
+}
+
+}  // namespace cbps::pubsub

@@ -1,0 +1,15 @@
+#include "cbps/pubsub/schema.hpp"
+
+#include "cbps/common/sha1.hpp"
+
+namespace cbps::pubsub {
+
+Value Schema::value_from_string(std::size_t attr, std::string_view s) const {
+  const ClosedInterval dom = domain(attr);
+  const Sha1::Digest d = Sha1::hash(s);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return dom.lo + static_cast<Value>(v % dom.width());
+}
+
+}  // namespace cbps::pubsub

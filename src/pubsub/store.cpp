@@ -1,0 +1,125 @@
+#include "cbps/pubsub/store.hpp"
+
+namespace cbps::pubsub {
+
+void SubscriptionStore::index_expiry(SubscriptionId id, sim::SimTime at) {
+  if (at == sim::kSimTimeNever) return;
+  expiry_index_.emplace(at, id);
+}
+
+void SubscriptionStore::unindex_expiry(SubscriptionId id, sim::SimTime at) {
+  if (at == sim::kSimTimeNever) return;
+  auto [lo, hi] = expiry_index_.equal_range(at);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == id) {
+      expiry_index_.erase(it);
+      return;
+    }
+  }
+}
+
+SubscriptionStore::RecordMap::iterator SubscriptionStore::erase_record(
+    RecordMap::iterator it) {
+  if (!it->second.replica) --owned_;
+  unindex_expiry(it->first, it->second.expires_at);
+  if (index_) index_->remove(it->first);
+  return records_.erase(it);
+}
+
+bool SubscriptionStore::insert(const Record& record) {
+  CBPS_ASSERT(record.sub != nullptr);
+  auto [it, inserted] = records_.emplace(record.sub->id, record);
+  if (inserted) {
+    index_expiry(it->first, record.expires_at);
+    if (index_) index_->insert(record.sub);
+    if (!record.replica) {
+      ++owned_;
+      note_owned_change();
+    }
+    return true;
+  }
+  // Refresh: update expiry and ranges; a non-replica insert upgrades a
+  // replica record to owned.
+  Record& existing = it->second;
+  if (existing.expires_at != record.expires_at) {
+    unindex_expiry(it->first, existing.expires_at);
+    existing.expires_at = record.expires_at;
+    index_expiry(it->first, existing.expires_at);
+  }
+  existing.ranges = record.ranges;
+  if (existing.replica && !record.replica) {
+    existing.replica = false;
+    ++owned_;
+    note_owned_change();
+  }
+  return false;
+}
+
+bool SubscriptionStore::remove(SubscriptionId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  erase_record(it);
+  return true;
+}
+
+const SubscriptionStore::Record* SubscriptionStore::find(
+    SubscriptionId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t SubscriptionStore::sweep_expired(sim::SimTime now) {
+  std::size_t removed = 0;
+  while (!expiry_index_.empty() && expiry_index_.begin()->first <= now) {
+    const SubscriptionId id = expiry_index_.begin()->second;
+    auto it = records_.find(id);
+    CBPS_ASSERT(it != records_.end());
+    erase_record(it);
+    ++removed;
+  }
+  return removed;
+}
+
+std::vector<const SubscriptionStore::Record*> SubscriptionStore::match(
+    const Event& e, sim::SimTime now) const {
+  std::vector<const Record*> out;
+  if (index_) {
+    for (SubscriptionId id : index_->match(e)) {
+      const auto it = records_.find(id);
+      CBPS_ASSERT(it != records_.end());
+      if (it->second.expires_at <= now) continue;
+      out.push_back(&it->second);
+    }
+    return out;
+  }
+  for (const auto& [_, rec] : records_) {
+    if (rec.expires_at <= now) continue;
+    if (rec.sub->matches(e)) out.push_back(&rec);
+  }
+  return out;
+}
+
+void SubscriptionStore::for_each(
+    const std::function<void(const Record&)>& fn) const {
+  for (const auto& [_, rec] : records_) fn(rec);
+}
+
+std::size_t SubscriptionStore::remove_if(
+    const std::function<bool(const Record&)>& pred) {
+  std::size_t removed = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (pred(it->second)) {
+      it = erase_record(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void SubscriptionStore::note_owned_change() {
+  if (owned_ > peak_owned_) peak_owned_ = owned_;
+}
+
+}  // namespace cbps::pubsub

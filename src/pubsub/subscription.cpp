@@ -1,0 +1,76 @@
+#include "cbps/pubsub/subscription.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cbps::pubsub {
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  os << "event#" << e.id << '(';
+  for (std::size_t i = 0; i < e.values.size(); ++i) {
+    if (i) os << ", ";
+    os << e.values[i];
+  }
+  return os << ')';
+}
+
+const Constraint* Subscription::constraint_on(std::size_t attr) const {
+  for (const Constraint& c : constraints) {
+    if (c.attribute == attr) return &c;
+  }
+  return nullptr;
+}
+
+bool Subscription::matches(const Event& e) const {
+  return std::all_of(
+      constraints.begin(), constraints.end(), [&](const Constraint& c) {
+        return c.attribute < e.values.size() &&
+               c.range.contains(e.values[c.attribute]);
+      });
+}
+
+bool Subscription::valid_for(const Schema& schema) const {
+  std::set<std::size_t> seen;
+  for (const Constraint& c : constraints) {
+    if (c.attribute >= schema.dimensions()) return false;
+    if (!seen.insert(c.attribute).second) return false;  // duplicate attr
+    const ClosedInterval& dom = schema.domain(c.attribute);
+    if (c.range.lo < dom.lo || c.range.hi > dom.hi) return false;
+  }
+  return true;
+}
+
+double Subscription::selectivity(const Schema& schema,
+                                 std::size_t attr) const {
+  const Constraint* c = constraint_on(attr);
+  if (c == nullptr) return 1.0;
+  return static_cast<double>(c->range.width()) /
+         static_cast<double>(schema.domain_size(attr));
+}
+
+std::optional<std::size_t> Subscription::most_selective_attribute(
+    const Schema& schema) const {
+  std::optional<std::size_t> best;
+  double best_sel = 0.0;
+  for (const Constraint& c : constraints) {
+    const double sel = selectivity(schema, c.attribute);
+    if (!best || sel < best_sel ||
+        (sel == best_sel && c.attribute < *best)) {
+      best = c.attribute;
+      best_sel = sel;
+    }
+  }
+  return best;
+}
+
+std::ostream& operator<<(std::ostream& os, const Subscription& s) {
+  os << "sub#" << s.id << '{';
+  for (std::size_t i = 0; i < s.constraints.size(); ++i) {
+    if (i) os << " && ";
+    const Constraint& c = s.constraints[i];
+    os << c.range.lo << "<=a" << c.attribute << "<=" << c.range.hi;
+  }
+  return os << '}';
+}
+
+}  // namespace cbps::pubsub

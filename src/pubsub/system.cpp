@@ -1,0 +1,209 @@
+#include "cbps/pubsub/system.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "cbps/sim/latency.hpp"
+
+namespace cbps::pubsub {
+
+PubSubSystem::PubSubSystem(SystemConfig cfg, Schema schema) : cfg_(cfg) {
+  mapping_ = make_mapping(cfg.mapping, std::move(schema), cfg.chord.ring,
+                          cfg.mapping_options);
+  network_ = std::make_unique<chord::ChordNetwork>(
+      sim_, cfg.chord, cfg.seed,
+      std::make_unique<sim::FixedLatency>(cfg.message_delay));
+
+  const std::size_t vppn = std::max<std::size_t>(1, cfg.virtual_nodes_per_host);
+  hosts_ = std::max<std::size_t>(1, cfg.nodes / vppn);
+  std::map<Key, std::size_t> host_by_id;
+  std::size_t created = 0;
+  for (std::size_t h = 0; h < hosts_ && created < cfg.nodes; ++h) {
+    for (std::size_t v = 0; v < vppn && created < cfg.nodes; ++v) {
+      const std::string name =
+          vppn == 1 ? "node-" + std::to_string(h)
+                    : "node-" + std::to_string(h) + "#v" + std::to_string(v);
+      host_by_id[network_->add_node(name).id()] = h;
+      ++created;
+    }
+  }
+  network_->build_static_ring();
+
+  node_ids_ = network_->alive_ids();
+  nodes_.reserve(node_ids_.size());
+  host_of_.reserve(node_ids_.size());
+  for (Key id : node_ids_) {
+    nodes_.push_back(std::make_unique<PubSubNode>(
+        *network_->node(id), sim_, *mapping_, cfg.pubsub));
+    host_of_.push_back(host_by_id.at(id));
+  }
+}
+
+std::size_t PubSubSystem::host_count() const { return hosts_; }
+
+PubSubSystem::StorageStats PubSubSystem::host_storage_stats() const {
+  StorageStats s;
+  std::vector<std::size_t> owned(hosts_, 0);
+  std::vector<std::size_t> peak(hosts_, 0);
+  std::vector<std::size_t> replicas(hosts_, 0);
+  std::vector<bool> alive(hosts_, false);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!network_->is_alive(node_ids_[i])) continue;
+    const std::size_t h = host_of_[i];
+    alive[h] = true;
+    const SubscriptionStore& store = nodes_[i]->store();
+    owned[h] += store.owned_size();
+    peak[h] += store.peak_owned_size();
+    replicas[h] += store.size() - store.owned_size();
+  }
+  std::size_t alive_hosts = 0;
+  std::size_t sum_owned = 0;
+  std::size_t sum_peak = 0;
+  for (std::size_t h = 0; h < hosts_; ++h) {
+    if (!alive[h]) continue;
+    ++alive_hosts;
+    sum_owned += owned[h];
+    sum_peak += peak[h];
+    s.max_owned = std::max(s.max_owned, owned[h]);
+    s.max_peak = std::max(s.max_peak, peak[h]);
+    s.total_replicas += replicas[h];
+  }
+  if (alive_hosts == 0) return s;
+  s.total_owned = sum_owned;
+  s.avg_owned =
+      static_cast<double>(sum_owned) / static_cast<double>(alive_hosts);
+  s.avg_peak =
+      static_cast<double>(sum_peak) / static_cast<double>(alive_hosts);
+  return s;
+}
+
+PubSubSystem::~PubSubSystem() = default;
+
+std::size_t PubSubSystem::join_node(const std::string& name) {
+  // Bootstrap from any alive member.
+  Key bootstrap = 0;
+  bool found = false;
+  for (Key id : node_ids_) {
+    if (network_->is_alive(id)) {
+      bootstrap = id;
+      found = true;
+      break;
+    }
+  }
+  CBPS_ASSERT_MSG(found, "need an alive node to bootstrap a join");
+  chord::ChordNode& cn = network_->join_node(name, bootstrap);
+  auto app = std::make_unique<PubSubNode>(cn, sim_, *mapping_, cfg_.pubsub);
+  if (sink_) app->set_notify_sink(sink_);
+  const auto pos = static_cast<std::size_t>(
+      std::lower_bound(node_ids_.begin(), node_ids_.end(), cn.id()) -
+      node_ids_.begin());
+  node_ids_.insert(node_ids_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   cn.id());
+  nodes_.insert(nodes_.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::move(app));
+  host_of_.insert(host_of_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  hosts_++);
+  return pos;
+}
+
+void PubSubSystem::leave_node(std::size_t i) {
+  network_->leave_gracefully(node_id(i));
+}
+
+void PubSubSystem::crash_node(std::size_t i) {
+  network_->crash(node_id(i));
+}
+
+PubSubNode& PubSubSystem::pubsub_node(std::size_t i) {
+  CBPS_ASSERT(i < nodes_.size());
+  return *nodes_[i];
+}
+
+chord::ChordNode& PubSubSystem::chord_node(std::size_t i) {
+  CBPS_ASSERT(i < node_ids_.size());
+  return *network_->node(node_ids_[i]);
+}
+
+SubscriptionPtr PubSubSystem::subscribe(std::size_t node_idx,
+                                        std::vector<Constraint> constraints,
+                                        sim::SimTime ttl) {
+  auto sub = std::make_shared<Subscription>();
+  sub->id = next_sub_id_++;
+  sub->subscriber = node_id(node_idx);
+  sub->constraints = std::move(constraints);
+  CBPS_ASSERT_MSG(sub->valid_for(schema()), "invalid subscription");
+  ++subs_issued_;
+  pubsub_node(node_idx).subscribe(sub, ttl);
+  return sub;
+}
+
+void PubSubSystem::unsubscribe(std::size_t node_idx, SubscriptionId id) {
+  pubsub_node(node_idx).unsubscribe(id);
+}
+
+std::vector<SubscriptionPtr> PubSubSystem::subscribe_disjunction(
+    std::size_t node_idx, std::vector<std::vector<Constraint>> clauses,
+    sim::SimTime ttl) {
+  std::vector<SubscriptionPtr> subs;
+  subs.reserve(clauses.size());
+  for (auto& clause : clauses) {
+    subs.push_back(subscribe(node_idx, std::move(clause), ttl));
+  }
+  return subs;
+}
+
+EventId PubSubSystem::publish(std::size_t node_idx,
+                              std::vector<Value> values) {
+  auto event = std::make_shared<Event>();
+  event->id = next_event_id_++;
+  event->values = std::move(values);
+  CBPS_ASSERT_MSG(event->valid_for(schema()), "invalid event");
+  ++pubs_issued_;
+  pubsub_node(node_idx).publish(std::move(event));
+  return next_event_id_ - 1;
+}
+
+void PubSubSystem::set_notify_sink(NotifySink sink) {
+  sink_ = std::move(sink);
+  for (auto& node : nodes_) node->set_notify_sink(sink_);
+}
+
+PubSubSystem::StorageStats PubSubSystem::storage_stats() const {
+  StorageStats s;
+  std::size_t sum_owned = 0;
+  std::size_t sum_peak = 0;
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!network_->is_alive(node_ids_[i])) continue;  // departed/crashed
+    ++alive;
+    const SubscriptionStore& store = nodes_[i]->store();
+    const std::size_t owned = store.owned_size();
+    const std::size_t peak = store.peak_owned_size();
+    sum_owned += owned;
+    sum_peak += peak;
+    s.max_owned = std::max(s.max_owned, owned);
+    s.max_peak = std::max(s.max_peak, peak);
+    s.total_replicas += store.size() - owned;
+  }
+  if (alive == 0) return s;
+  s.total_owned = sum_owned;
+  s.avg_owned =
+      static_cast<double>(sum_owned) / static_cast<double>(alive);
+  s.avg_peak = static_cast<double>(sum_peak) / static_cast<double>(alive);
+  return s;
+}
+
+std::uint64_t PubSubSystem::notifications_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->notifications_received();
+  return n;
+}
+
+RunningStat PubSubSystem::notification_delay() const {
+  RunningStat total;
+  for (const auto& node : nodes_) total.merge(node->notification_delay());
+  return total;
+}
+
+}  // namespace cbps::pubsub

@@ -1,0 +1,102 @@
+#include "cbps/sim/simulator.hpp"
+
+#include <utility>
+
+namespace cbps::sim {
+
+Simulator::EventId Simulator::schedule_at(SimTime t, Callback cb) {
+  CBPS_ASSERT_MSG(t >= now_, "scheduling into the past");
+  CBPS_ASSERT(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{t, id});
+  pending_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // The heap entry stays behind and is skipped lazily when popped.
+  return pending_.erase(id) > 0;
+}
+
+Simulator::TimerId Simulator::add_timer(SimTime period, Callback cb) {
+  return add_timer(period, period, std::move(cb));
+}
+
+Simulator::TimerId Simulator::add_timer(SimTime period, SimTime first_delay,
+                                        Callback cb) {
+  CBPS_ASSERT_MSG(period > 0, "zero-period timer would livelock");
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(id, TimerState{period, std::move(cb), kInvalidEvent});
+  auto& st = timers_.at(id);
+  st.next_event = schedule_after(first_delay, [this, id] { fire_timer(id); });
+  return id;
+}
+
+void Simulator::arm_timer(TimerId id) {
+  auto& st = timers_.at(id);
+  st.next_event =
+      schedule_after(st.period, [this, id] { fire_timer(id); });
+}
+
+void Simulator::fire_timer(TimerId id) {
+  auto it = timers_.find(id);
+  CBPS_ASSERT(it != timers_.end());
+  // Copy the body: the callback may cancel_timer(id), which destroys the
+  // stored std::function — invoking the stored one directly would be UB.
+  Callback body = it->second.cb;
+  arm_timer(id);
+  body();
+}
+
+bool Simulator::cancel_timer(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  cancel(it->second.next_event);
+  timers_.erase(it);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) {
+      heap_.pop();  // cancelled
+      continue;
+    }
+    heap_.pop();
+    CBPS_ASSERT(top.time >= now_);
+    now_ = top.time;
+    Callback cb = std::move(it->second);
+    pending_.erase(it);
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime t) {
+  std::uint64_t n = 0;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    if (!pending_.contains(top.id)) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+    ++n;
+  }
+  CBPS_ASSERT(t >= now_);
+  now_ = t;
+  return n;
+}
+
+}  // namespace cbps::sim

@@ -1,0 +1,61 @@
+#include "cbps/workload/churn.hpp"
+
+#include <vector>
+
+namespace cbps::workload {
+
+ChurnDriver::ChurnDriver(pubsub::PubSubSystem& system, ChurnParams params,
+                         std::uint64_t seed, Protected is_protected)
+    : system_(system),
+      params_(params),
+      rng_(seed),
+      is_protected_(std::move(is_protected)) {}
+
+void ChurnDriver::start() {
+  CBPS_ASSERT_MSG(system_.config().chord.stabilize_period > 0,
+                  "churn requires Chord maintenance to be enabled");
+  schedule_next();
+}
+
+void ChurnDriver::schedule_next() {
+  if (stopped_ || events() >= params_.max_events) return;
+  const double wait_s = rng_.exponential(params_.mean_interval_s);
+  system_.sim().schedule_after(sim::from_seconds(wait_s),
+                               [this] { fire(); });
+}
+
+std::optional<std::size_t> ChurnDriver::pick_victim() {
+  std::vector<std::size_t> candidates;
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < system_.node_count(); ++i) {
+    const Key id = system_.node_id(i);
+    if (!system_.network().is_alive(id)) continue;
+    ++alive;
+    if (is_protected_ && is_protected_(id)) continue;
+    candidates.push_back(i);
+  }
+  if (alive <= params_.min_nodes || candidates.empty()) {
+    return std::nullopt;
+  }
+  return candidates[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+void ChurnDriver::fire() {
+  if (stopped_ || events() >= params_.max_events) return;
+  if (rng_.bernoulli(params_.join_fraction)) {
+    system_.join_node("churn-join-" + std::to_string(join_seq_++));
+    ++joins_;
+  } else if (const auto victim = pick_victim()) {
+    if (rng_.bernoulli(params_.crash_fraction)) {
+      system_.crash_node(*victim);
+      ++crashes_;
+    } else {
+      system_.leave_node(*victim);
+      ++leaves_;
+    }
+  }
+  schedule_next();
+}
+
+}  // namespace cbps::workload

@@ -1,0 +1,127 @@
+#include "cbps/workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbps::workload {
+
+using pubsub::Constraint;
+using pubsub::Subscription;
+
+namespace {
+
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(pubsub::Schema schema,
+                                     WorkloadParams params,
+                                     std::uint64_t seed)
+    : schema_(std::move(schema)), params_(std::move(params)), rng_(seed) {
+  zipf_.reserve(schema_.dimensions());
+  rank_multiplier_.reserve(schema_.dimensions());
+  for (std::size_t i = 0; i < schema_.dimensions(); ++i) {
+    zipf_.emplace_back(schema_.domain_size(i), params_.zipf_exponent);
+    // Rank -> value bijection: Zipf models *popularity*, but the popular
+    // values must be spread across the domain (consecutive ranks are not
+    // neighboring values). (rank * m) mod |Omega| with gcd(m, |Omega|)=1
+    // is a bijection that decorrelates rank from position.
+    const std::uint64_t width = schema_.domain_size(i);
+    std::uint64_t m = 2654435761ull % width;
+    if (m == 0) m = 1;
+    while (gcd64(m, width) != 1) ++m;
+    rank_multiplier_.push_back(m);
+  }
+}
+
+Value WorkloadGenerator::zipf_value(std::size_t attr) {
+  const std::uint64_t rank = zipf_[attr](rng_);  // 1-based
+  const std::uint64_t width = schema_.domain_size(attr);
+  const std::uint64_t pos =
+      static_cast<std::uint64_t>(
+          (static_cast<Uint128>(rank) * rank_multiplier_[attr]) % width);
+  return schema_.domain(attr).lo + static_cast<Value>(pos);
+}
+
+Constraint WorkloadGenerator::make_constraint(std::size_t attr) {
+  const ClosedInterval dom = schema_.domain(attr);
+  const bool selective = params_.is_selective(attr);
+  const double frac = selective ? params_.selective_range_frac
+                                : params_.nonselective_range_frac;
+
+  // Range length uniform in [1, X] where X = frac * |Omega_i|.
+  const auto x = std::max<Value>(
+      1, static_cast<Value>(std::llround(
+             frac * static_cast<double>(schema_.domain_size(attr)))));
+  const Value len = rng_.uniform_int(1, x);
+
+  // Center: Zipf-popular value for selective attributes (popularity
+  // follows Zipf; the popular values are spread over the domain),
+  // uniform otherwise.
+  const Value center =
+      selective ? zipf_value(attr) : rng_.uniform_int(dom.lo, dom.hi);
+
+  Value lo = center - len / 2;
+  Value hi = lo + len - 1;
+  // Clamp by shifting so the range keeps its drawn length.
+  if (lo < dom.lo) {
+    hi += dom.lo - lo;
+    lo = dom.lo;
+  }
+  if (hi > dom.hi) {
+    lo -= hi - dom.hi;
+    hi = dom.hi;
+  }
+  lo = std::max(lo, dom.lo);
+  return Constraint{attr, ClosedInterval{lo, hi}};
+}
+
+std::vector<Constraint> WorkloadGenerator::make_constraints() {
+  std::vector<Constraint> cs;
+  cs.reserve(schema_.dimensions());
+  for (std::size_t i = 0; i < schema_.dimensions(); ++i) {
+    cs.push_back(make_constraint(i));
+  }
+  return cs;
+}
+
+std::vector<Value> WorkloadGenerator::make_random_values() {
+  std::vector<Value> vs;
+  vs.reserve(schema_.dimensions());
+  for (std::size_t i = 0; i < schema_.dimensions(); ++i) {
+    const ClosedInterval dom = schema_.domain(i);
+    vs.push_back(rng_.uniform_int(dom.lo, dom.hi));
+  }
+  return vs;
+}
+
+std::vector<Value> WorkloadGenerator::make_matching_values(
+    const Subscription& target) {
+  std::vector<Value> vs;
+  vs.reserve(schema_.dimensions());
+  for (std::size_t i = 0; i < schema_.dimensions(); ++i) {
+    const Constraint* c = target.constraint_on(i);
+    const ClosedInterval r = c ? c->range : schema_.domain(i);
+    vs.push_back(rng_.uniform_int(r.lo, r.hi));
+  }
+  return vs;
+}
+
+std::vector<Value> WorkloadGenerator::make_event_values(
+    std::span<const pubsub::SubscriptionPtr> active) {
+  if (!active.empty() && rng_.bernoulli(params_.matching_probability)) {
+    const auto pick = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1));
+    return make_matching_values(*active[pick]);
+  }
+  return make_random_values();
+}
+
+}  // namespace cbps::workload

@@ -1,0 +1,189 @@
+#include "cbps/workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "cbps/common/assert.hpp"
+
+namespace cbps::workload {
+
+std::uint64_t Trace::subscription_count() const {
+  std::uint64_t n = 0;
+  for (const TraceOp& op : ops_) {
+    if (op.kind == TraceOp::Kind::kSubscribe) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Trace::publication_count() const {
+  std::uint64_t n = 0;
+  for (const TraceOp& op : ops_) {
+    if (op.kind == TraceOp::Kind::kPublish) ++n;
+  }
+  return n;
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "# cbps workload trace v1\n";
+  for (const TraceOp& op : ops_) {
+    switch (op.kind) {
+      case TraceOp::Kind::kSubscribe: {
+        os << "sub " << op.at << ' ' << op.node << ' ' << op.sub_id << ' ';
+        if (op.ttl == sim::kSimTimeNever) {
+          os << "never";
+        } else {
+          os << op.ttl;
+        }
+        for (const pubsub::Constraint& c : op.constraints) {
+          os << ' ' << c.attribute << ':' << c.range.lo << ':'
+             << c.range.hi;
+        }
+        os << '\n';
+        break;
+      }
+      case TraceOp::Kind::kUnsubscribe:
+        os << "unsub " << op.at << ' ' << op.node << ' ' << op.sub_id
+           << '\n';
+        break;
+      case TraceOp::Kind::kPublish: {
+        os << "pub " << op.at << ' ' << op.node;
+        for (Value v : op.values) os << ' ' << v;
+        os << '\n';
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+bool fail(std::string* error, std::size_t line_no, const std::string& why) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+bool parse_line(const std::string& line, std::size_t line_no, Trace* trace,
+                std::string* error) {
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+  if (verb.empty() || verb[0] == '#') return true;
+
+  TraceOp op;
+  if (verb == "sub") {
+    op.kind = TraceOp::Kind::kSubscribe;
+    std::string ttl;
+    if (!(in >> op.at >> op.node >> op.sub_id >> ttl)) {
+      return fail(error, line_no, "malformed sub header");
+    }
+    if (ttl == "never") {
+      op.ttl = sim::kSimTimeNever;
+    } else {
+      try {
+        op.ttl = std::stoull(ttl);
+      } catch (...) {
+        return fail(error, line_no, "bad ttl '" + ttl + "'");
+      }
+    }
+    std::string c;
+    while (in >> c) {
+      const auto p1 = c.find(':');
+      const auto p2 = c.find(':', p1 + 1);
+      if (p1 == std::string::npos || p2 == std::string::npos) {
+        return fail(error, line_no, "bad constraint '" + c + "'");
+      }
+      try {
+        const std::size_t attr = std::stoull(c.substr(0, p1));
+        const Value lo = std::stoll(c.substr(p1 + 1, p2 - p1 - 1));
+        const Value hi = std::stoll(c.substr(p2 + 1));
+        if (lo > hi) {
+          return fail(error, line_no, "inverted range in '" + c + "'");
+        }
+        op.constraints.push_back({attr, {lo, hi}});
+      } catch (...) {
+        return fail(error, line_no, "bad constraint '" + c + "'");
+      }
+    }
+  } else if (verb == "unsub") {
+    op.kind = TraceOp::Kind::kUnsubscribe;
+    if (!(in >> op.at >> op.node >> op.sub_id)) {
+      return fail(error, line_no, "malformed unsub");
+    }
+  } else if (verb == "pub") {
+    op.kind = TraceOp::Kind::kPublish;
+    if (!(in >> op.at >> op.node)) {
+      return fail(error, line_no, "malformed pub header");
+    }
+    Value v;
+    while (in >> v) op.values.push_back(v);
+    if (op.values.empty()) {
+      return fail(error, line_no, "publication with no values");
+    }
+  } else {
+    return fail(error, line_no, "unknown verb '" + verb + "'");
+  }
+  trace->add(std::move(op));
+  return true;
+}
+
+}  // namespace
+
+std::optional<Trace> Trace::load(std::istream& is, std::string* error) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!parse_line(line, line_no, &trace, error)) return std::nullopt;
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// TraceReplayer
+// ---------------------------------------------------------------------------
+
+TraceReplayer::TraceReplayer(pubsub::PubSubSystem& system,
+                             const Trace& trace)
+    : system_(system), trace_(trace) {}
+
+void TraceReplayer::start() {
+  for (const TraceOp& op : trace_.ops()) {
+    CBPS_ASSERT_MSG(op.at >= system_.sim().now(),
+                    "trace ops must not precede the current time");
+    system_.sim().schedule_at(op.at, [this, &op] { apply(op); });
+  }
+}
+
+void TraceReplayer::apply(const TraceOp& op) {
+  if (op.node >= system_.node_count()) {
+    ++skipped_;
+    return;
+  }
+  switch (op.kind) {
+    case TraceOp::Kind::kSubscribe: {
+      const auto sub =
+          system_.subscribe(op.node, op.constraints, op.ttl);
+      sub_ids_[op.sub_id] = {op.node, sub->id};
+      break;
+    }
+    case TraceOp::Kind::kUnsubscribe: {
+      const auto it = sub_ids_.find(op.sub_id);
+      if (it == sub_ids_.end()) {
+        ++skipped_;
+        return;
+      }
+      system_.unsubscribe(it->second.first, it->second.second);
+      break;
+    }
+    case TraceOp::Kind::kPublish:
+      system_.publish(op.node, op.values);
+      break;
+  }
+  ++replayed_;
+}
+
+}  // namespace cbps::workload

@@ -1,0 +1,102 @@
+// Tests for the command-line flag parser used by the tools.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cbps/common/flags.hpp"
+
+namespace cbps {
+namespace {
+
+struct ParseResult {
+  bool ok;
+  std::string out;
+  std::string err;
+};
+
+ParseResult parse(FlagParser& parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  std::ostringstream out;
+  std::ostringstream err;
+  const bool ok = parser.parse(static_cast<int>(args.size()), args.data(),
+                               out, err);
+  return {ok, out.str(), err.str()};
+}
+
+TEST(FlagParserTest, ParsesAllTypesWithEquals) {
+  bool b = false;
+  std::int64_t i = 0;
+  double d = 0;
+  std::string s;
+  FlagParser p("test");
+  p.add("b", "", &b);
+  p.add("i", "", &i);
+  p.add("d", "", &d);
+  p.add("s", "", &s);
+  const auto r = parse(p, {"--b=true", "--i=-42", "--d=2.5", "--s=hello"});
+  EXPECT_TRUE(r.ok) << r.err;
+  EXPECT_TRUE(b);
+  EXPECT_EQ(i, -42);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(FlagParserTest, ParsesSpaceSeparatedValues) {
+  std::int64_t i = 0;
+  std::string s;
+  FlagParser p("test");
+  p.add("count", "", &i);
+  p.add("name", "", &s);
+  const auto r = parse(p, {"--count", "7", "--name", "x y"});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(i, 7);
+  EXPECT_EQ(s, "x y");
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  bool verbose = false;
+  FlagParser p("test");
+  p.add("verbose", "", &verbose);
+  EXPECT_TRUE(parse(p, {"--verbose"}).ok);
+  EXPECT_TRUE(verbose);
+  EXPECT_TRUE(parse(p, {"--verbose=false"}).ok);
+  EXPECT_FALSE(verbose);
+}
+
+TEST(FlagParserTest, RejectsUnknownFlag) {
+  FlagParser p("test");
+  const auto r = parse(p, {"--nope=1"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagParserTest, RejectsBadValues) {
+  std::int64_t i = 0;
+  double d = 0;
+  FlagParser p("test");
+  p.add("i", "", &i);
+  p.add("d", "", &d);
+  EXPECT_FALSE(parse(p, {"--i=abc"}).ok);
+  EXPECT_FALSE(parse(p, {"--d=1.2.3"}).ok);
+  EXPECT_FALSE(parse(p, {"--i"}).ok);  // missing value
+}
+
+TEST(FlagParserTest, RejectsPositionalArguments) {
+  FlagParser p("test");
+  EXPECT_FALSE(parse(p, {"stray"}).ok);
+}
+
+TEST(FlagParserTest, HelpPrintsDefaultsAndStops) {
+  std::int64_t i = 31337;
+  FlagParser p("my tool");
+  p.add("port", "listen port", &i);
+  const auto r = parse(p, {"--help"});
+  EXPECT_FALSE(r.ok);  // signals "exit now"
+  EXPECT_NE(r.out.find("my tool"), std::string::npos);
+  EXPECT_NE(r.out.find("port"), std::string::npos);
+  EXPECT_NE(r.out.find("31337"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbps

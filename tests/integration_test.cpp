@@ -1,0 +1,302 @@
+// System-level integration tests: scaled-down versions of the paper's
+// experiments with their qualitative outcomes asserted, plus
+// reproducibility and long-run stability checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cbps/pubsub/delivery_checker.hpp"
+#include "cbps/pubsub/system.hpp"
+#include "cbps/workload/driver.hpp"
+#include "cbps/workload/generator.hpp"
+
+namespace cbps::pubsub {
+namespace {
+
+using Transport = PubSubConfig::Transport;
+using overlay::MessageClass;
+
+struct RunStats {
+  double hops_per_sub = 0;
+  double hops_per_pub = 0;
+  std::size_t max_subs = 0;
+  double avg_subs = 0;
+  std::uint64_t notifications = 0;
+  std::uint64_t total_hops = 0;
+};
+
+RunStats run(MappingKind mapping, Transport transport, std::size_t nodes,
+             std::uint64_t subs, std::uint64_t pubs,
+             int selective_attrs = 0, Value discretization = 1,
+             std::uint64_t seed = 3) {
+  SystemConfig cfg;
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+  cfg.mapping = mapping;
+  cfg.mapping_options.discretization = discretization;
+  cfg.pubsub.sub_transport = transport;
+  cfg.pubsub.pub_transport = transport;
+  PubSubSystem system(cfg, Schema::uniform(4, 1'000'000));
+
+  workload::WorkloadParams wp;
+  wp.zipf_exponent = 0.7;
+  wp.selective.assign(4, false);
+  for (int i = 0; i < selective_attrs; ++i) {
+    wp.selective[static_cast<std::size_t>(i)] = true;
+  }
+  workload::WorkloadGenerator gen(system.schema(), wp, seed * 31 + 7);
+
+  workload::DriverParams dp;
+  dp.max_subscriptions = subs;
+  dp.max_publications = pubs;
+  workload::Driver driver(system, gen, dp);
+  driver.start();
+  driver.run_to_completion();
+
+  RunStats r;
+  if (subs > 0) {
+    r.hops_per_sub =
+        static_cast<double>(system.traffic().hops(MessageClass::kSubscribe)) /
+        static_cast<double>(subs);
+  }
+  if (pubs > 0) {
+    r.hops_per_pub =
+        static_cast<double>(system.traffic().hops(MessageClass::kPublish)) /
+        static_cast<double>(pubs);
+  }
+  const auto st = system.storage_stats();
+  r.max_subs = st.max_peak;
+  r.avg_subs = st.avg_peak;
+  r.notifications = system.notifications_delivered();
+  r.total_hops = system.traffic().total_hops();
+  return r;
+}
+
+// --- Figure 5 shape ---------------------------------------------------------
+
+TEST(IntegrationShapeTest, SubscriptionCostOrderingAcrossMappings) {
+  const auto m1 = run(MappingKind::kAttributeSplit, Transport::kUnicast,
+                      100, 200, 0);
+  const auto m2 = run(MappingKind::kKeySpaceSplit, Transport::kUnicast,
+                      100, 200, 0);
+  const auto m3 = run(MappingKind::kSelectiveAttribute, Transport::kUnicast,
+                      100, 200, 0);
+  // Paper Fig. 5: M1 ~10x M3's subscription cost; M2 is the cheapest.
+  EXPECT_GT(m1.hops_per_sub, 4.0 * m3.hops_per_sub);
+  EXPECT_LT(m2.hops_per_sub, m3.hops_per_sub);
+}
+
+TEST(IntegrationShapeTest, McastReducesHighKeyCountSubscriptionCost) {
+  const auto uni = run(MappingKind::kAttributeSplit, Transport::kUnicast,
+                       100, 150, 0);
+  const auto mc = run(MappingKind::kAttributeSplit, Transport::kMulticast,
+                      100, 150, 0);
+  // Paper: >90% at n=500; at n=100 the key ranges cover fewer nodes so
+  // demand >= 80%.
+  EXPECT_LT(mc.hops_per_sub, 0.2 * uni.hops_per_sub);
+}
+
+TEST(IntegrationShapeTest, PublicationCostM3IsDTimesM2) {
+  const auto m2 = run(MappingKind::kKeySpaceSplit, Transport::kUnicast,
+                      200, 100, 300);
+  const auto m3 = run(MappingKind::kSelectiveAttribute, Transport::kUnicast,
+                      200, 100, 300);
+  // M3 routes each event to d=4 keys, M2 to one.
+  EXPECT_GT(m3.hops_per_pub, 2.0 * m2.hops_per_pub);
+  EXPECT_LT(m3.hops_per_pub, 8.0 * m2.hops_per_pub);
+}
+
+// --- Figure 7 shape ---------------------------------------------------------
+
+TEST(IntegrationShapeTest, PublicationHopsGrowSublinearlyWithN) {
+  const auto small = run(MappingKind::kSelectiveAttribute,
+                         Transport::kUnicast, 100, 100, 300);
+  const auto large = run(MappingKind::kSelectiveAttribute,
+                         Transport::kUnicast, 400, 100, 300);
+  EXPECT_GT(large.hops_per_pub, small.hops_per_pub);
+  // 4x nodes must cost far less than 4x hops (logarithmic routing).
+  EXPECT_LT(large.hops_per_pub, 2.0 * small.hops_per_pub);
+}
+
+// --- Figure 6/8 shape -------------------------------------------------------
+
+TEST(IntegrationShapeTest, MemoryOrderingWithoutSelectiveAttrs) {
+  // n = 250, where the Figure 8 gap between the mappings is established
+  // (at n = 100 the paper's own M2 and M3 points nearly coincide).
+  const auto m1 = run(MappingKind::kAttributeSplit, Transport::kMulticast,
+                      250, 2000, 0);
+  const auto m2 = run(MappingKind::kKeySpaceSplit, Transport::kMulticast,
+                      250, 2000, 0);
+  const auto m3 = run(MappingKind::kSelectiveAttribute,
+                      Transport::kMulticast, 250, 2000, 0);
+  EXPECT_LT(m2.avg_subs, 0.7 * m3.avg_subs);
+  EXPECT_LT(m3.avg_subs, 0.7 * m1.avg_subs);
+  EXPECT_LT(m3.max_subs, m1.max_subs);
+  // M1 stores every subscription on many nodes: its average must exceed
+  // the subscription count divided by node count by a wide margin.
+  EXPECT_GT(m1.avg_subs, 4.0 * 2000.0 / 250.0);
+}
+
+TEST(IntegrationShapeTest, SelectiveAttributeHelpsM3) {
+  const auto without = run(MappingKind::kSelectiveAttribute,
+                           Transport::kMulticast, 250, 2000, 0, 0);
+  const auto with_sel = run(MappingKind::kSelectiveAttribute,
+                            Transport::kMulticast, 250, 2000, 0,
+                            /*selective_attrs=*/1);
+  EXPECT_LT(with_sel.avg_subs, 0.65 * without.avg_subs);
+}
+
+// --- Figure 9(b) shape ------------------------------------------------------
+
+TEST(IntegrationShapeTest, DiscretizationMonotonicallyCutsSubHops) {
+  const auto none = run(MappingKind::kSelectiveAttribute,
+                        Transport::kUnicast, 100, 200, 0, 0, 1);
+  const auto d10 = run(MappingKind::kSelectiveAttribute,
+                       Transport::kUnicast, 100, 200, 0, 0, 1500);
+  const auto d20 = run(MappingKind::kSelectiveAttribute,
+                       Transport::kUnicast, 100, 200, 0, 0, 3000);
+  EXPECT_GT(none.hops_per_sub, d10.hops_per_sub);
+  EXPECT_GT(d10.hops_per_sub, d20.hops_per_sub);
+}
+
+// --- Reproducibility --------------------------------------------------------
+
+TEST(IntegrationDeterminismTest, IdenticalSeedsGiveIdenticalRuns) {
+  const auto a = run(MappingKind::kSelectiveAttribute, Transport::kMulticast,
+                     64, 120, 200, 1, 1, /*seed=*/99);
+  const auto b = run(MappingKind::kSelectiveAttribute, Transport::kMulticast,
+                     64, 120, 200, 1, 1, /*seed=*/99);
+  EXPECT_EQ(a.total_hops, b.total_hops);
+  EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.max_subs, b.max_subs);
+}
+
+TEST(IntegrationDeterminismTest, DifferentSeedsDiffer) {
+  const auto a = run(MappingKind::kSelectiveAttribute, Transport::kMulticast,
+                     64, 120, 200, 1, 1, /*seed=*/99);
+  const auto b = run(MappingKind::kSelectiveAttribute, Transport::kMulticast,
+                     64, 120, 200, 1, 1, /*seed=*/100);
+  EXPECT_NE(a.total_hops, b.total_hops);
+}
+
+// --- Long-run expiry stability ----------------------------------------------
+
+TEST(IntegrationExpiryTest, StorageIsBoundedAndDrains) {
+  SystemConfig cfg;
+  cfg.nodes = 64;
+  cfg.seed = 5;
+  cfg.mapping = MappingKind::kKeySpaceSplit;
+  cfg.pubsub.sub_transport = Transport::kMulticast;
+  PubSubSystem system(cfg, Schema::uniform(4, 1'000'000));
+
+  workload::WorkloadGenerator gen(system.schema(), {}, 55);
+  workload::DriverParams dp;
+  dp.max_subscriptions = 2000;
+  dp.max_publications = 0;
+  dp.sub_interval = sim::sec(5);
+  dp.sub_ttl = sim::sec(200);  // steady state: ~40 live subscriptions
+  workload::Driver driver(system, gen, dp);
+  driver.start();
+
+  // Mid-run: storage must be bounded near the steady state, far below
+  // the total injected count.
+  system.run_for(sim::sec(5 * 1000));
+  EXPECT_LT(system.storage_stats().total_owned, 300u);
+  EXPECT_GT(system.storage_stats().total_owned, 0u);
+
+  // After the run + TTL, everything must drain.
+  system.quiesce();
+  EXPECT_EQ(system.storage_stats().total_owned, 0u);
+  EXPECT_EQ(driver.subscriptions_issued(), 2000u);
+}
+
+// --- End-to-end correctness under combined churn ------------------------------
+
+TEST(IntegrationChurnTest, WorkloadSurvivesJoinsLeavesAndCrashes) {
+  SystemConfig cfg;
+  cfg.nodes = 40;
+  cfg.seed = 8;
+  cfg.mapping = MappingKind::kSelectiveAttribute;
+  cfg.pubsub.sub_transport = Transport::kMulticast;
+  cfg.pubsub.replication_factor = 2;
+  cfg.chord.stabilize_period = sim::sec(5);
+  PubSubSystem system(cfg, Schema::uniform(3, 99'999));
+  system.network().start_maintenance_all();
+
+  DeliveryChecker checker;
+  system.set_notify_sink([&](Key subscriber, const Notification& n) {
+    checker.on_notify(subscriber, n, system.sim().now());
+  });
+
+  workload::WorkloadParams wp;
+  wp.matching_probability = 0.8;
+  workload::WorkloadGenerator gen(system.schema(), wp, 21);
+
+  std::vector<SubscriptionPtr> active;
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto sub = system.subscribe(i, gen.make_constraints());
+    checker.on_subscribe(sub, system.sim().now(), sim::kSimTimeNever);
+    active.push_back(sub);
+    system.run_for(sim::sec(3));
+  }
+
+  // Churn: two joins, one graceful leave, one crash (non-subscribers).
+  system.join_node("fresh-1");
+  system.run_for(sim::sec(30));
+  system.join_node("fresh-2");
+  system.run_for(sim::sec(30));
+  int removed = 0;
+  for (Key id : system.network().alive_ids()) {
+    if (removed >= 2) break;
+    bool is_subscriber = false;
+    for (const auto& s : active) is_subscriber |= s->subscriber == id;
+    if (is_subscriber) continue;
+    std::size_t idx = system.node_count();
+    for (std::size_t i = 0; i < system.node_count(); ++i) {
+      if (system.node_id(i) == id) {
+        idx = i;
+        break;
+      }
+    }
+    ASSERT_LT(idx, system.node_count());
+    if (removed == 0) {
+      system.leave_node(idx);
+    } else {
+      system.crash_node(idx);
+    }
+    ++removed;
+    system.run_for(sim::sec(60));
+  }
+
+  // Traffic through the churned ring.
+  for (int i = 0; i < 30; ++i) {
+    auto event = std::make_shared<Event>();
+    const std::vector<Value> values = gen.make_event_values(active);
+    // Publish from an alive node.
+    const std::vector<Key> alive = system.network().alive_ids();
+    const Key pub_id = alive[static_cast<std::size_t>(gen.rng().uniform_int(
+        0, static_cast<std::int64_t>(alive.size()) - 1))];
+    for (std::size_t idx = 0; idx < system.node_count(); ++idx) {
+      if (system.node_id(idx) == pub_id) {
+        const EventId id = system.publish(idx, values);
+        event->id = id;
+        event->values = values;
+        checker.on_publish(event, system.sim().now());
+        break;
+      }
+    }
+    system.run_for(sim::sec(3));
+  }
+  system.run_for(sim::sec(60));
+
+  const auto report = checker.verify(sim::sec(5));
+  EXPECT_GT(report.expected, 0u);
+  EXPECT_EQ(report.missing, 0u)
+      << (report.issues.empty() ? "" : report.issues[0]);
+  EXPECT_EQ(report.duplicates, 0u);
+  EXPECT_EQ(report.spurious, 0u);
+}
+
+}  // namespace
+}  // namespace cbps::pubsub

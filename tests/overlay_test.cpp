@@ -1,0 +1,164 @@
+// Unit tests for the overlay-layer utilities: traffic accounting, the
+// shared m-cast partition, and the metrics registry.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "cbps/metrics/registry.hpp"
+#include "cbps/overlay/mcast_partition.hpp"
+#include "cbps/overlay/payload.hpp"
+
+namespace cbps::overlay {
+namespace {
+
+TEST(TrafficStatsTest, PerClassAccounting) {
+  TrafficStats stats;
+  stats.record_hop(MessageClass::kSubscribe);
+  stats.record_hop(MessageClass::kSubscribe);
+  stats.record_hop(MessageClass::kPublish);
+  stats.record_hop(MessageClass::kControl);
+  stats.record_delivery(MessageClass::kPublish);
+
+  EXPECT_EQ(stats.hops(MessageClass::kSubscribe), 2u);
+  EXPECT_EQ(stats.hops(MessageClass::kPublish), 1u);
+  EXPECT_EQ(stats.hops(MessageClass::kNotify), 0u);
+  EXPECT_EQ(stats.total_hops(), 4u);
+  EXPECT_EQ(stats.app_hops(), 3u);  // excludes control
+  EXPECT_EQ(stats.deliveries(MessageClass::kPublish), 1u);
+}
+
+TEST(TrafficStatsTest, RouteSummariesAndReset) {
+  TrafficStats stats;
+  stats.record_route_complete(MessageClass::kNotify, 2);
+  stats.record_route_complete(MessageClass::kNotify, 4);
+  EXPECT_EQ(stats.route_hops(MessageClass::kNotify).count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.route_hops(MessageClass::kNotify).mean(), 3.0);
+  stats.reset();
+  EXPECT_EQ(stats.total_hops(), 0u);
+  EXPECT_EQ(stats.route_hops(MessageClass::kNotify).count(), 0u);
+}
+
+TEST(MessageClassTest, Names) {
+  EXPECT_EQ(to_string(MessageClass::kSubscribe), "subscribe");
+  EXPECT_EQ(to_string(MessageClass::kCollect), "collect");
+  EXPECT_EQ(to_string(MessageClass::kStateTransfer), "state_transfer");
+}
+
+// ---------------------------------------------------------------------------
+// partition_mcast_targets
+// ---------------------------------------------------------------------------
+
+class McastPartitionTest : public ::testing::Test {
+ protected:
+  RingParams ring_{8};  // 256 keys
+  Key self_ = 100;
+  Key pred_ = 90;
+  std::function<bool(Key)> covers_ = [this](Key k) {
+    return ring_.in_open_closed(pred_, self_, k);
+  };
+};
+
+TEST_F(McastPartitionTest, LocalKeysSeparated) {
+  const auto part = partition_mcast_targets(
+      ring_, self_, covers_, {95, 100, 150}, {120, 200});
+  EXPECT_EQ(part.local, (std::vector<Key>{100, 95}));  // by ring distance
+  EXPECT_EQ(part.delegated.size(), 2u);
+  EXPECT_EQ(part.delegated[0], (std::vector<Key>{150}));
+  EXPECT_TRUE(part.delegated[1].empty());
+  EXPECT_TRUE(part.undeliverable.empty());
+}
+
+TEST_F(McastPartitionTest, SegmentsTravelToStrictlyPrecedingCandidate) {
+  // Candidates at 120 and 200: keys in (100,120] -> 120; keys in
+  // (120, 200] travel to 120 too?? No: (120, 200) -> 120 only if
+  // strictly preceding; key 200 itself goes to 120's segment? distance
+  // rule: key 200 has candidate 120 strictly preceding (dist 20 < 100),
+  // and candidate 200 NOT strictly preceding (equal) -> goes to 120.
+  const auto part = partition_mcast_targets(
+      ring_, self_, covers_, {110, 130, 200, 210}, {120, 200});
+  EXPECT_EQ(part.delegated[0], (std::vector<Key>{110, 130, 200}));
+  EXPECT_EQ(part.delegated[1], (std::vector<Key>{210}));
+}
+
+TEST_F(McastPartitionTest, DuplicatesRemoved) {
+  const auto part = partition_mcast_targets(ring_, self_, covers_,
+                                            {130, 130, 130}, {120});
+  EXPECT_EQ(part.delegated[0], (std::vector<Key>{130}));
+}
+
+TEST_F(McastPartitionTest, NoCandidatesMeansUndeliverable) {
+  const auto part =
+      partition_mcast_targets(ring_, self_, covers_, {95, 150}, {});
+  EXPECT_EQ(part.local, (std::vector<Key>{95}));
+  EXPECT_EQ(part.undeliverable, (std::vector<Key>{150}));
+}
+
+TEST_F(McastPartitionTest, WrappingTargets) {
+  const auto part = partition_mcast_targets(
+      ring_, self_, covers_, {250, 5, 95}, {180, 240});
+  EXPECT_EQ(part.local, (std::vector<Key>{95}));
+  // 250 and 5 are both beyond candidate 240 (strictly preceding both).
+  EXPECT_TRUE(part.delegated[0].empty());
+  EXPECT_EQ(part.delegated[1], (std::vector<Key>{250, 5}));
+}
+
+TEST_F(McastPartitionTest, DisjointUnionPreserved) {
+  // Every input key appears in exactly one output bucket.
+  std::vector<Key> targets;
+  for (Key k = 0; k < 256; k += 3) targets.push_back(k);
+  const std::vector<Key> candidates{110, 140, 180, 240, 40};
+  // candidates must be sorted by distance from self:
+  std::vector<Key> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end(), [&](Key a, Key b) {
+    return ring_.distance(self_, a) < ring_.distance(self_, b);
+  });
+  const auto part =
+      partition_mcast_targets(ring_, self_, covers_, targets, sorted);
+  std::multiset<Key> seen(part.local.begin(), part.local.end());
+  for (const auto& bucket : part.delegated) {
+    seen.insert(bucket.begin(), bucket.end());
+  }
+  seen.insert(part.undeliverable.begin(), part.undeliverable.end());
+  EXPECT_EQ(seen.size(), targets.size());
+  for (Key k : targets) EXPECT_EQ(seen.count(k), 1u) << k;
+}
+
+}  // namespace
+}  // namespace cbps::overlay
+
+namespace cbps::metrics {
+namespace {
+
+TEST(RegistryTest, CountersCreateOnDemand) {
+  Registry reg;
+  EXPECT_EQ(reg.counter_value("x"), 0u);
+  reg.counter("x").inc();
+  reg.counter("x").inc(5);
+  EXPECT_EQ(reg.counter_value("x"), 6u);
+  EXPECT_EQ(reg.counter_value("y"), 0u);  // does not create
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(RegistryTest, StatsAndPrint) {
+  Registry reg;
+  reg.counter("alpha").inc(3);
+  reg.stat("lat").add(1.0);
+  reg.stat("lat").add(3.0);
+  std::ostringstream os;
+  reg.print(os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("mean=2"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetAll) {
+  Registry reg;
+  reg.counter("a").inc(7);
+  reg.stat("s").add(1.0);
+  reg.reset_all();
+  EXPECT_EQ(reg.counter_value("a"), 0u);
+  EXPECT_TRUE(reg.stats().empty());
+}
+
+}  // namespace
+}  // namespace cbps::metrics

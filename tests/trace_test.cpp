@@ -1,0 +1,209 @@
+// Tests for workload trace recording, serialization and replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cbps/pubsub/delivery_checker.hpp"
+#include "cbps/workload/driver.hpp"
+#include "cbps/workload/trace.hpp"
+
+namespace cbps::workload {
+namespace {
+
+TEST(TraceFormatTest, SaveLoadRoundTrip) {
+  Trace trace;
+  TraceOp sub;
+  sub.kind = TraceOp::Kind::kSubscribe;
+  sub.at = sim::sec(5);
+  sub.node = 3;
+  sub.sub_id = 1;
+  sub.ttl = sim::sec(100);
+  sub.constraints = {{0, {10, 20}}, {2, {-5, 5}}};
+  trace.add(sub);
+
+  TraceOp pub;
+  pub.kind = TraceOp::Kind::kPublish;
+  pub.at = sim::sec(7);
+  pub.node = 9;
+  pub.values = {15, 0, 2};
+  trace.add(pub);
+
+  TraceOp unsub;
+  unsub.kind = TraceOp::Kind::kUnsubscribe;
+  unsub.at = sim::sec(50);
+  unsub.node = 3;
+  unsub.sub_id = 1;
+  trace.add(unsub);
+
+  std::stringstream ss;
+  trace.save(ss);
+  std::string error;
+  const auto loaded = Trace::load(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), 3u);
+
+  const auto& ops = loaded->ops();
+  EXPECT_EQ(ops[0].kind, TraceOp::Kind::kSubscribe);
+  EXPECT_EQ(ops[0].at, sim::sec(5));
+  EXPECT_EQ(ops[0].node, 3u);
+  EXPECT_EQ(ops[0].ttl, sim::sec(100));
+  ASSERT_EQ(ops[0].constraints.size(), 2u);
+  EXPECT_EQ(ops[0].constraints[1].range, (ClosedInterval{-5, 5}));
+  EXPECT_EQ(ops[1].kind, TraceOp::Kind::kPublish);
+  EXPECT_EQ(ops[1].values, (std::vector<Value>{15, 0, 2}));
+  EXPECT_EQ(ops[2].kind, TraceOp::Kind::kUnsubscribe);
+  EXPECT_EQ(loaded->subscription_count(), 1u);
+  EXPECT_EQ(loaded->publication_count(), 1u);
+}
+
+TEST(TraceFormatTest, NeverTtlRoundTrips) {
+  Trace trace;
+  TraceOp sub;
+  sub.kind = TraceOp::Kind::kSubscribe;
+  sub.ttl = sim::kSimTimeNever;
+  sub.constraints = {{0, {1, 2}}};
+  trace.add(sub);
+  std::stringstream ss;
+  trace.save(ss);
+  const auto loaded = Trace::load(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->ops()[0].ttl, sim::kSimTimeNever);
+}
+
+TEST(TraceFormatTest, CommentsAndBlanksIgnored) {
+  std::stringstream ss(
+      "# header\n"
+      "\n"
+      "pub 100 2 5 6\n"
+      "# trailing\n");
+  const auto loaded = Trace::load(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(TraceFormatTest, MalformedInputRejectedWithLineNumbers) {
+  const char* bad[] = {
+      "frobnicate 1 2 3\n",        // unknown verb
+      "pub 100 2\n",               // publication with no values
+      "sub 1 2 3 oops 0:1:2\n",    // bad ttl
+      "sub 1 2 3 never 0:9:1\n",   // inverted range
+      "sub 1 2 3 never 0-1-2\n",   // bad constraint syntax
+      "unsub 1\n",                 // truncated
+  };
+  for (const char* text : bad) {
+    std::stringstream ss(text);
+    std::string error;
+    EXPECT_FALSE(Trace::load(ss, &error).has_value()) << text;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record + replay
+// ---------------------------------------------------------------------------
+
+pubsub::SystemConfig replay_config() {
+  pubsub::SystemConfig cfg;
+  cfg.nodes = 24;
+  cfg.seed = 77;
+  cfg.chord.ring = RingParams{11};
+  cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
+  return cfg;
+}
+
+TEST(TraceReplayTest, ReplayReproducesTheRecordedRun) {
+  const pubsub::Schema schema = pubsub::Schema::uniform(3, 9'999);
+
+  // Record a driven run.
+  Trace trace;
+  std::uint64_t recorded_notifications = 0;
+  std::uint64_t recorded_hops = 0;
+  {
+    pubsub::PubSubSystem system(replay_config(), schema);
+    WorkloadParams wp;
+    wp.matching_probability = 0.8;
+    WorkloadGenerator gen(schema, wp, 5);
+    DriverParams dp;
+    dp.max_subscriptions = 25;
+    dp.max_publications = 50;
+    Driver driver(system, gen, dp, nullptr, &trace);
+    driver.start();
+    driver.run_to_completion();
+    recorded_notifications = system.notifications_delivered();
+    recorded_hops = system.traffic().total_hops();
+  }
+  EXPECT_EQ(trace.subscription_count(), 25u);
+  EXPECT_EQ(trace.publication_count(), 50u);
+
+  // Serialize and reload (exercises the full pipeline).
+  std::stringstream ss;
+  trace.save(ss);
+  const auto loaded = Trace::load(ss);
+  ASSERT_TRUE(loaded.has_value());
+
+  // Replay into an identically configured fresh system.
+  pubsub::PubSubSystem replay_system(replay_config(), schema);
+  TraceReplayer replayer(replay_system, *loaded);
+  replayer.start();
+  replay_system.quiesce();
+
+  EXPECT_EQ(replayer.replayed(), trace.size());
+  EXPECT_EQ(replayer.skipped(), 0u);
+  EXPECT_EQ(replay_system.notifications_delivered(),
+            recorded_notifications);
+  EXPECT_EQ(replay_system.traffic().total_hops(), recorded_hops);
+}
+
+TEST(TraceReplayTest, ReplayAgainstDifferentTransportStillDelivers) {
+  const pubsub::Schema schema = pubsub::Schema::uniform(3, 9'999);
+  Trace trace;
+  std::uint64_t recorded_notifications = 0;
+  {
+    pubsub::PubSubSystem system(replay_config(), schema);
+    WorkloadParams wp;
+    wp.matching_probability = 0.8;
+    WorkloadGenerator gen(schema, wp, 6);
+    DriverParams dp;
+    dp.max_subscriptions = 20;
+    dp.max_publications = 40;
+    Driver driver(system, gen, dp, nullptr, &trace);
+    driver.start();
+    driver.run_to_completion();
+    recorded_notifications = system.notifications_delivered();
+  }
+
+  // Same trace, m-cast transport and a different mapping: deliveries
+  // must be identical (the trace pins the workload; the architecture
+  // guarantees the matches).
+  pubsub::SystemConfig cfg = replay_config();
+  cfg.mapping = pubsub::MappingKind::kAttributeSplit;
+  cfg.pubsub.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
+  cfg.pubsub.pub_transport = pubsub::PubSubConfig::Transport::kMulticast;
+  pubsub::PubSubSystem system(cfg, schema);
+  TraceReplayer replayer(system, trace);
+  replayer.start();
+  system.quiesce();
+  EXPECT_EQ(system.notifications_delivered(), recorded_notifications);
+}
+
+TEST(TraceReplayTest, OutOfRangeNodesAreSkipped) {
+  const pubsub::Schema schema = pubsub::Schema::uniform(1, 99);
+  Trace trace;
+  TraceOp pub;
+  pub.kind = TraceOp::Kind::kPublish;
+  pub.at = sim::sec(1);
+  pub.node = 9999;  // no such node
+  pub.values = {5};
+  trace.add(pub);
+
+  pubsub::SystemConfig cfg = replay_config();
+  pubsub::PubSubSystem system(cfg, schema);
+  TraceReplayer replayer(system, trace);
+  replayer.start();
+  system.quiesce();
+  EXPECT_EQ(replayer.skipped(), 1u);
+  EXPECT_EQ(replayer.replayed(), 0u);
+}
+
+}  // namespace
+}  // namespace cbps::workload
