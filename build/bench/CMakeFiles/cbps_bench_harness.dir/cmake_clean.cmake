@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/cbps_bench_harness.dir/harness.cpp.o.d"
+  "libcbps_bench_harness.a"
+  "libcbps_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

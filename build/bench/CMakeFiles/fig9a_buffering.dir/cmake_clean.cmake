@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_buffering.dir/fig9a_buffering.cpp.o"
+  "CMakeFiles/fig9a_buffering.dir/fig9a_buffering.cpp.o.d"
+  "fig9a_buffering"
+  "fig9a_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

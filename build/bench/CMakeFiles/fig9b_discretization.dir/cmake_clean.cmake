@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_discretization.dir/fig9b_discretization.cpp.o"
+  "CMakeFiles/fig9b_discretization.dir/fig9b_discretization.cpp.o.d"
+  "fig9b_discretization"
+  "fig9b_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_ablation.dir/mcast_ablation.cpp.o"
+  "CMakeFiles/mcast_ablation.dir/mcast_ablation.cpp.o.d"
+  "mcast_ablation"
+  "mcast_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pubsub.dir/micro_pubsub.cpp.o"
+  "CMakeFiles/micro_pubsub.dir/micro_pubsub.cpp.o.d"
+  "micro_pubsub"
+  "micro_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/overlay_portability.cpp" "bench/CMakeFiles/overlay_portability.dir/overlay_portability.cpp.o" "gcc" "bench/CMakeFiles/overlay_portability.dir/overlay_portability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cbps_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cbps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/cbps_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/cbps_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/cbps_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cbps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/cbps_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cbps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_portability.dir/overlay_portability.cpp.o"
+  "CMakeFiles/overlay_portability.dir/overlay_portability.cpp.o.d"
+  "overlay_portability"
+  "overlay_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

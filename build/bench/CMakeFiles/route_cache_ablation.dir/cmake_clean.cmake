@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_cache_ablation.dir/route_cache_ablation.cpp.o"
+  "CMakeFiles/route_cache_ablation.dir/route_cache_ablation.cpp.o.d"
+  "route_cache_ablation"
+  "route_cache_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_cache_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

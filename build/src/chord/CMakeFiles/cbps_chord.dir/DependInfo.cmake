@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chord/finger_table.cpp" "src/chord/CMakeFiles/cbps_chord.dir/finger_table.cpp.o" "gcc" "src/chord/CMakeFiles/cbps_chord.dir/finger_table.cpp.o.d"
+  "/root/repo/src/chord/location_cache.cpp" "src/chord/CMakeFiles/cbps_chord.dir/location_cache.cpp.o" "gcc" "src/chord/CMakeFiles/cbps_chord.dir/location_cache.cpp.o.d"
+  "/root/repo/src/chord/network.cpp" "src/chord/CMakeFiles/cbps_chord.dir/network.cpp.o" "gcc" "src/chord/CMakeFiles/cbps_chord.dir/network.cpp.o.d"
+  "/root/repo/src/chord/node.cpp" "src/chord/CMakeFiles/cbps_chord.dir/node.cpp.o" "gcc" "src/chord/CMakeFiles/cbps_chord.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cbps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/cbps_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cbps_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

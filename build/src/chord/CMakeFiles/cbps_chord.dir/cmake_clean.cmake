@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_chord.dir/finger_table.cpp.o"
+  "CMakeFiles/cbps_chord.dir/finger_table.cpp.o.d"
+  "CMakeFiles/cbps_chord.dir/location_cache.cpp.o"
+  "CMakeFiles/cbps_chord.dir/location_cache.cpp.o.d"
+  "CMakeFiles/cbps_chord.dir/network.cpp.o"
+  "CMakeFiles/cbps_chord.dir/network.cpp.o.d"
+  "CMakeFiles/cbps_chord.dir/node.cpp.o"
+  "CMakeFiles/cbps_chord.dir/node.cpp.o.d"
+  "libcbps_chord.a"
+  "libcbps_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

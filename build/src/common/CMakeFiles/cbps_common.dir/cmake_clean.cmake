@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_common.dir/flags.cpp.o"
+  "CMakeFiles/cbps_common.dir/flags.cpp.o.d"
+  "CMakeFiles/cbps_common.dir/hash.cpp.o"
+  "CMakeFiles/cbps_common.dir/hash.cpp.o.d"
+  "CMakeFiles/cbps_common.dir/logging.cpp.o"
+  "CMakeFiles/cbps_common.dir/logging.cpp.o.d"
+  "CMakeFiles/cbps_common.dir/rng.cpp.o"
+  "CMakeFiles/cbps_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cbps_common.dir/sha1.cpp.o"
+  "CMakeFiles/cbps_common.dir/sha1.cpp.o.d"
+  "libcbps_common.a"
+  "libcbps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

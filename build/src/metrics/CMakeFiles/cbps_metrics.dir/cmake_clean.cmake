@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_metrics.dir/registry.cpp.o"
+  "CMakeFiles/cbps_metrics.dir/registry.cpp.o.d"
+  "libcbps_metrics.a"
+  "libcbps_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

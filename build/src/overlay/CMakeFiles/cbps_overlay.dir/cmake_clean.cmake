@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_overlay.dir/mcast_partition.cpp.o"
+  "CMakeFiles/cbps_overlay.dir/mcast_partition.cpp.o.d"
+  "CMakeFiles/cbps_overlay.dir/payload.cpp.o"
+  "CMakeFiles/cbps_overlay.dir/payload.cpp.o.d"
+  "libcbps_overlay.a"
+  "libcbps_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_pastry.dir/network.cpp.o"
+  "CMakeFiles/cbps_pastry.dir/network.cpp.o.d"
+  "CMakeFiles/cbps_pastry.dir/node.cpp.o"
+  "CMakeFiles/cbps_pastry.dir/node.cpp.o.d"
+  "libcbps_pastry.a"
+  "libcbps_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

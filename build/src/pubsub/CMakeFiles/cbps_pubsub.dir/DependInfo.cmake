@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/counting_index.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/counting_index.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/counting_index.cpp.o.d"
+  "/root/repo/src/pubsub/delivery_checker.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/delivery_checker.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/delivery_checker.cpp.o.d"
+  "/root/repo/src/pubsub/mapping.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/mapping.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/mapping.cpp.o.d"
+  "/root/repo/src/pubsub/node.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/node.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/node.cpp.o.d"
+  "/root/repo/src/pubsub/schema.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/schema.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/schema.cpp.o.d"
+  "/root/repo/src/pubsub/store.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/store.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/store.cpp.o.d"
+  "/root/repo/src/pubsub/subscription.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/subscription.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/subscription.cpp.o.d"
+  "/root/repo/src/pubsub/system.cpp" "src/pubsub/CMakeFiles/cbps_pubsub.dir/system.cpp.o" "gcc" "src/pubsub/CMakeFiles/cbps_pubsub.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cbps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/cbps_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/cbps_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cbps_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

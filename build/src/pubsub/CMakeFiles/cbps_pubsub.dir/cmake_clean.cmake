@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_pubsub.dir/counting_index.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/counting_index.cpp.o.d"
+  "CMakeFiles/cbps_pubsub.dir/delivery_checker.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/delivery_checker.cpp.o.d"
+  "CMakeFiles/cbps_pubsub.dir/mapping.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/mapping.cpp.o.d"
+  "CMakeFiles/cbps_pubsub.dir/node.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/node.cpp.o.d"
+  "CMakeFiles/cbps_pubsub.dir/schema.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/schema.cpp.o.d"
+  "CMakeFiles/cbps_pubsub.dir/store.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/store.cpp.o.d"
+  "CMakeFiles/cbps_pubsub.dir/subscription.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/subscription.cpp.o.d"
+  "CMakeFiles/cbps_pubsub.dir/system.cpp.o"
+  "CMakeFiles/cbps_pubsub.dir/system.cpp.o.d"
+  "libcbps_pubsub.a"
+  "libcbps_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cbps_sim.dir/simulator.cpp.o.d"
+  "libcbps_sim.a"
+  "libcbps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

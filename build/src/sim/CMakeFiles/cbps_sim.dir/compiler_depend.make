@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cbps_sim.
+# This may be replaced when dependencies are built.

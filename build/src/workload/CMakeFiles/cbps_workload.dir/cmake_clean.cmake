@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_workload.dir/churn.cpp.o"
+  "CMakeFiles/cbps_workload.dir/churn.cpp.o.d"
+  "CMakeFiles/cbps_workload.dir/driver.cpp.o"
+  "CMakeFiles/cbps_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/cbps_workload.dir/generator.cpp.o"
+  "CMakeFiles/cbps_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/cbps_workload.dir/trace.cpp.o"
+  "CMakeFiles/cbps_workload.dir/trace.cpp.o.d"
+  "libcbps_workload.a"
+  "libcbps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

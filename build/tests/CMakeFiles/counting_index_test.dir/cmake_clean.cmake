@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_index_test.dir/counting_index_test.cpp.o"
+  "CMakeFiles/counting_index_test.dir/counting_index_test.cpp.o.d"
+  "counting_index_test"
+  "counting_index_test.pdb"
+  "counting_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

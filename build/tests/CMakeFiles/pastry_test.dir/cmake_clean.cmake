@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastry_test.dir/pastry_test.cpp.o"
+  "CMakeFiles/pastry_test.dir/pastry_test.cpp.o.d"
+  "pastry_test"
+  "pastry_test.pdb"
+  "pastry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_node_unit_test.dir/pubsub_node_unit_test.cpp.o"
+  "CMakeFiles/pubsub_node_unit_test.dir/pubsub_node_unit_test.cpp.o.d"
+  "pubsub_node_unit_test"
+  "pubsub_node_unit_test.pdb"
+  "pubsub_node_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_node_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

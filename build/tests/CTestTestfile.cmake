@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/chord_test[1]_include.cmake")
+include("/root/repo/build/tests/mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/pubsub_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_index_test[1]_include.cmake")
+include("/root/repo/build/tests/pastry_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/overlay_test[1]_include.cmake")
+include("/root/repo/build/tests/pubsub_node_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/churn_test[1]_include.cmake")

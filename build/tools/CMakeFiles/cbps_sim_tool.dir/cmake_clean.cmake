@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbps_sim_tool.dir/cbps_sim.cpp.o"
+  "CMakeFiles/cbps_sim_tool.dir/cbps_sim.cpp.o.d"
+  "cbps-sim"
+  "cbps-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbps_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
