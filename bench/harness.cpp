@@ -24,6 +24,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.pubsub.buffer_period = cfg.buffer_period;
   sys_cfg.pubsub.match_engine = cfg.match_engine;
   sys_cfg.pubsub.replication_factor = cfg.replication_factor;
+  sys_cfg.chord.loss_rate = cfg.loss_rate;
+  sys_cfg.chord.max_retries = cfg.max_retries;
+  sys_cfg.chord.retry_base = cfg.retry_base;
 
   pubsub::Schema schema =
       pubsub::Schema::uniform(cfg.dimensions, cfg.attr_max);
@@ -125,6 +128,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   const RunningStat delay = system.notification_delay();
   r.avg_notification_delay_s = delay.mean();
   r.max_notification_delay_s = delay.max();
+
+  const metrics::Registry& reg = system.network().registry();
+  r.messages_lost = reg.counter_value("chord.net.lost");
+  r.retransmits = reg.counter_value("chord.retransmits");
+  r.sends_failed = reg.counter_value("chord.send_failed");
+  r.duplicates_suppressed = system.duplicates_suppressed();
 
   if (cfg.verify) {
     const auto report = checker.verify();

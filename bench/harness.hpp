@@ -60,6 +60,13 @@ struct ExperimentConfig {
   /// Subscription replication factor (§4.1).
   std::size_t replication_factor = 0;
 
+  /// Fault injection: per-message drop probability. Non-zero arms the
+  /// overlay's ack/retry reliability layer and the pub/sub duplicate
+  /// filter; 0 leaves the wire bit-identical to a loss-free run.
+  double loss_rate = 0.0;
+  std::uint32_t max_retries = 5;
+  sim::SimTime retry_base = sim::ms(250);
+
   /// Record the generated workload to this file (empty = off).
   std::string trace_save_path;
   /// Replay a previously saved workload instead of generating one
@@ -101,6 +108,12 @@ struct ExperimentResult {
   std::uint64_t missing = 0;
   std::uint64_t duplicates = 0;
   std::uint64_t spurious = 0;
+
+  // Fault-injection / reliability accounting (all 0 when loss_rate == 0).
+  std::uint64_t messages_lost = 0;       // dropped in flight by the wire
+  std::uint64_t retransmits = 0;         // timer-driven resends
+  std::uint64_t sends_failed = 0;        // retry budget exhausted
+  std::uint64_t duplicates_suppressed = 0;  // end-to-end filter drops
 };
 
 /// Run one simulated experiment to completion (all operations issued,

@@ -33,6 +33,25 @@ struct ChordConfig {
   /// Routing messages are dropped after this many hops (protection
   /// against transient routing loops while the ring converges).
   std::uint32_t max_route_hops = 512;
+
+  /// Fault injection: probability that any one transmission is lost in
+  /// flight (uniform per message, sampled from a dedicated RNG stream).
+  /// A non-zero rate also arms the hop-by-hop ack/retry reliability
+  /// layer for application traffic; 0 disables both entirely, leaving
+  /// the wire and all metrics bit-identical to a loss-free build.
+  double loss_rate = 0.0;
+
+  /// Retransmissions attempted per reliable message before the sender
+  /// declares the send failed (counted, never silent).
+  std::uint32_t max_retries = 5;
+
+  /// Ack timeout for the first retransmission; doubles after every
+  /// retry (exponential backoff). Must comfortably exceed one message
+  /// round-trip.
+  sim::SimTime retry_base = sim::ms(250);
+
+  /// Whether the ack/retry reliability layer is active.
+  bool reliable_transport() const { return loss_rate > 0.0; }
 };
 
 }  // namespace cbps::chord

@@ -8,8 +8,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cbps/chord/config.hpp"
@@ -18,6 +18,7 @@
 #include "cbps/metrics/registry.hpp"
 #include "cbps/overlay/payload.hpp"
 #include "cbps/sim/latency.hpp"
+#include "cbps/sim/loss.hpp"
 #include "cbps/sim/simulator.hpp"
 
 namespace cbps::chord {
@@ -56,14 +57,16 @@ class ChordNetwork {
   void crash(Key id);
 
   // --- lookup / iteration ------------------------------------------------
-  bool is_alive(Key id) const { return alive_.contains(id); }
+  bool is_alive(Key id) const;
   ChordNode* node(Key id);
   const ChordNode* node(Key id) const;
 
   std::size_t alive_count() const { return alive_.size(); }
   /// Sorted identifiers of alive nodes.
-  std::vector<Key> alive_ids() const;
+  std::vector<Key> alive_ids() const { return alive_; }
   /// Alive node by dense index (0 <= i < alive_count()), in id order.
+  /// O(1): the alive set is kept as a sorted vector (workload drivers
+  /// call this on their random-node-pick hot path).
   ChordNode& alive_node(std::size_t i);
 
   /// Ground truth: the node that covers `key` (the successor of `key`
@@ -97,12 +100,17 @@ class ChordNetwork {
   sim::Simulator& sim_;
   ChordConfig cfg_;
   Rng rng_;
+  Rng loss_rng_;  // dedicated stream; untouched unless loss is enabled
   std::unique_ptr<sim::LatencyModel> latency_;
+  std::unique_ptr<sim::LossModel> loss_;  // null when loss_rate == 0
   overlay::TrafficStats traffic_;
   metrics::Registry registry_;
 
   std::map<Key, std::unique_ptr<ChordNode>> nodes_;  // includes dead nodes
-  std::set<Key> alive_;
+  std::vector<Key> alive_;  // sorted; O(1) dense indexing for benches
+  // Gracefully-departed (not crashed) nodes: lame ducks that may still
+  // receive acks while their pending reliable sends drain.
+  std::unordered_set<Key> departed_;
 };
 
 }  // namespace cbps::chord

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cbps/chord/config.hpp"
@@ -75,6 +76,14 @@ class ChordNode final : public overlay::OverlayNode {
   void start_maintenance();
   void stop_maintenance();
 
+  /// Drop the pending-send (ack/retry) table and cancel its timers.
+  /// Called when this node goes offline; retransmitting from a dead
+  /// node would be physically wrong.
+  void cancel_pending_sends();
+
+  /// Reliable sends awaiting acknowledgment (introspection for tests).
+  std::size_t pending_send_count() const { return pending_sends_.size(); }
+
   /// Entry point for messages arriving from the network.
   void receive(Envelope env);
 
@@ -82,8 +91,14 @@ class ChordNode final : public overlay::OverlayNode {
   const ChordConfig& config() const;
 
   // Transmission helper: returns false (and evicts `to` from all local
-  // state) when the peer is dead.
+  // state) when the peer is dead. When the reliability layer is armed
+  // (config().reliable_transport()) and the message is ack-eligible,
+  // the send is tracked for timer-driven retransmission.
   bool transmit(Key to, WireMessage msg, overlay::MessageClass cls);
+  bool transmit_reliable(Key to, WireMessage msg,
+                         overlay::MessageClass cls);
+  void retransmit(std::uint64_t seq);
+  void handle_ack(std::uint64_t acked_seq);
   void on_peer_dead(Key peer);
 
   /// Best next hop toward `key` among successors, fingers, predecessor
@@ -139,6 +154,24 @@ class ChordNode final : public overlay::OverlayNode {
   std::uint64_t next_req_id_ = 1;
   std::unordered_map<std::uint64_t, std::size_t> pending_finger_fixes_;
   static constexpr std::uint64_t kJoinReqId = ~std::uint64_t{0};
+
+  // Ack/retry reliability layer (armed only when the network injects
+  // loss). Each reliable send is parked here, keyed by its sequence id,
+  // until the hop-level ack arrives or the retry budget is exhausted.
+  struct PendingSend {
+    Key to = 0;
+    WireMessage msg;             // retransmission copy (payload shared)
+    overlay::MessageClass cls = overlay::MessageClass::kControl;
+    std::uint32_t retries = 0;   // retransmissions performed so far
+    sim::SimTime timeout = 0;    // current backoff; doubles per retry
+    sim::Simulator::EventId timer = sim::Simulator::kInvalidEvent;
+  };
+  std::unordered_map<std::uint64_t, PendingSend> pending_sends_;
+  std::uint64_t next_send_seq_ = 1;
+  // Receiver-side duplicate suppression: per-sender set of already
+  // processed sequence ids (a retransmit whose ack was lost must be
+  // re-acked but not re-processed).
+  std::unordered_map<Key, std::unordered_set<std::uint64_t>> seen_seqs_;
 };
 
 }  // namespace cbps::chord

@@ -21,6 +21,7 @@ struct RouteMsg {
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;  // transmissions so far
   Key origin = 0;          // node that issued the send()
+  std::uint64_t seq = 0;   // reliability sequence id (0 = no ack wanted)
 };
 
 /// Native multicast (paper §4.3.1, Figure 4). `targets` is the subset of
@@ -30,6 +31,7 @@ struct McastMsg {
   std::vector<Key> targets;
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;  // delegation depth guard
+  std::uint64_t seq = 0;   // reliability sequence id (0 = no ack wanted)
 };
 
 /// Conservative unicast-based one-to-many baseline: the remaining keys
@@ -38,12 +40,21 @@ struct ChainMsg {
   std::vector<Key> targets;  // sorted in ring order from targets.front()
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
+  std::uint64_t seq = 0;     // reliability sequence id (0 = no ack wanted)
 };
 
 /// Direct one-hop application message to a ring neighbor (§4.3.2
 /// collecting uses these).
 struct NeighborMsg {
   overlay::PayloadPtr payload;
+  std::uint64_t seq = 0;  // reliability sequence id (0 = no ack wanted)
+};
+
+/// Hop-level acknowledgment of a reliable application message. The
+/// field is deliberately not named `seq` so acks never look like
+/// ack-requesting traffic themselves.
+struct AckMsg {
+  std::uint64_t acked_seq = 0;
 };
 
 /// Routing feedback: `owner` covers (owner_range_lo, owner] and delivered
@@ -88,11 +99,13 @@ struct PullStateReq {
   Key range_lo = 0;
   Key range_hi = 0;
   Key reply_to = 0;
+  std::uint64_t seq = 0;  // reliability sequence id (0 = no ack wanted)
 };
 
 /// Application state produced by OverlayApp::export_state.
 struct StateTransferMsg {
   overlay::PayloadPtr state;
+  std::uint64_t seq = 0;  // reliability sequence id (0 = no ack wanted)
 };
 
 /// Graceful leave: sent to the successor with the leaver's state.
@@ -100,18 +113,41 @@ struct PredLeaveMsg {
   bool has_new_pred = false;
   Key new_pred = 0;
   overlay::PayloadPtr state;
+  std::uint64_t seq = 0;  // reliability sequence id (0 = no ack wanted)
 };
 
 /// Graceful leave: sent to the predecessor with the leaver's successor.
 struct SuccLeaveMsg {
   Key new_succ = 0;
+  std::uint64_t seq = 0;  // reliability sequence id (0 = no ack wanted)
 };
 
 using WireMessage =
-    std::variant<RouteMsg, McastMsg, ChainMsg, NeighborMsg, OwnerInfoMsg,
-                 FindSuccessorReq, FindSuccessorReply, GetNeighborsReq,
-                 GetNeighborsReply, NotifyPredMsg, PullStateReq,
-                 StateTransferMsg, PredLeaveMsg, SuccLeaveMsg>;
+    std::variant<RouteMsg, McastMsg, ChainMsg, NeighborMsg, AckMsg,
+                 OwnerInfoMsg, FindSuccessorReq, FindSuccessorReply,
+                 GetNeighborsReq, GetNeighborsReply, NotifyPredMsg,
+                 PullStateReq, StateTransferMsg, PredLeaveMsg, SuccLeaveMsg>;
+
+/// Pointer to the reliability sequence field of ack-eligible message
+/// types (application traffic plus the state-carrying membership
+/// messages: RouteMsg, McastMsg, ChainMsg, NeighborMsg, PullStateReq,
+/// StateTransferMsg, PredLeaveMsg, SuccLeaveMsg), nullptr for
+/// everything else. AckMsg is excluded by its field name.
+inline std::uint64_t* seq_field(WireMessage& msg) {
+  return std::visit(
+      [](auto& m) -> std::uint64_t* {
+        if constexpr (requires { m.seq; }) {
+          return &m.seq;
+        } else {
+          return nullptr;
+        }
+      },
+      msg);
+}
+
+inline const std::uint64_t* seq_field(const WireMessage& msg) {
+  return seq_field(const_cast<WireMessage&>(msg));
+}
 
 /// Sender identity attached to every transmission.
 struct Envelope {

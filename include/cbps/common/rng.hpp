@@ -90,6 +90,9 @@ class RunningStat {
   /// Fold another summary into this one (exact: all moments are sums).
   void merge(const RunningStat& other);
 
+  /// Drop all samples (the object is reusable; references stay valid).
+  void reset() { *this = RunningStat{}; }
+
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }

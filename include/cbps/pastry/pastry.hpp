@@ -26,8 +26,9 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "cbps/overlay/node.hpp"
 #include "cbps/overlay/payload.hpp"
 #include "cbps/sim/latency.hpp"
+#include "cbps/sim/loss.hpp"
 #include "cbps/sim/simulator.hpp"
 
 namespace cbps::pastry {
@@ -45,6 +47,14 @@ struct PastryConfig {
   /// Leaf-set entries per side.
   std::size_t leaf_set_size = 4;
   std::uint32_t max_route_hops = 512;
+
+  /// Fault injection + ack/retry reliability, mirroring ChordConfig:
+  /// a non-zero loss rate drops transmissions uniformly at random and
+  /// arms hop-by-hop acks for application traffic; 0 disables both.
+  double loss_rate = 0.0;
+  std::uint32_t max_retries = 5;
+  sim::SimTime retry_base = sim::ms(250);
+  bool reliable_transport() const { return loss_rate > 0.0; }
 };
 
 // Wire messages (static topology: application traffic only).
@@ -52,21 +62,49 @@ struct RouteMsg {
   Key target = 0;
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
+  std::uint64_t seq = 0;  // reliability sequence id (0 = no ack wanted)
 };
 struct McastMsg {
   std::vector<Key> targets;
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
+  std::uint64_t seq = 0;
 };
 struct ChainMsg {
   std::vector<Key> targets;
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
+  std::uint64_t seq = 0;
 };
 struct NeighborMsg {
   overlay::PayloadPtr payload;
+  std::uint64_t seq = 0;
 };
-using WireMessage = std::variant<RouteMsg, McastMsg, ChainMsg, NeighborMsg>;
+/// Hop-level acknowledgment; field deliberately not named `seq` so acks
+/// are never themselves ack-eligible.
+struct AckMsg {
+  std::uint64_t acked_seq = 0;
+};
+using WireMessage =
+    std::variant<RouteMsg, McastMsg, ChainMsg, NeighborMsg, AckMsg>;
+
+/// Pointer to the reliability sequence field of ack-eligible messages,
+/// nullptr for AckMsg.
+inline std::uint64_t* seq_field(WireMessage& msg) {
+  return std::visit(
+      [](auto& m) -> std::uint64_t* {
+        if constexpr (requires { m.seq; }) {
+          return &m.seq;
+        } else {
+          return nullptr;
+        }
+      },
+      msg);
+}
+
+inline const std::uint64_t* seq_field(const WireMessage& msg) {
+  return seq_field(const_cast<WireMessage&>(msg));
+}
 
 class PastryNetwork;
 
@@ -104,11 +142,19 @@ class PastryNode final : public overlay::OverlayNode {
   void install_state(std::vector<Key> leaf_pred, std::vector<Key> leaf_succ,
                      std::vector<std::optional<Key>> table);
 
-  void receive(WireMessage msg);
+  void receive(Key from, WireMessage msg);
+
+  /// Drop the pending-send (ack/retry) table and cancel its timers.
+  void cancel_pending_sends();
+  std::size_t pending_send_count() const { return pending_sends_.size(); }
 
  private:
   const PastryConfig& config() const;
   bool transmit(Key to, WireMessage msg, overlay::MessageClass cls);
+  bool transmit_reliable(Key to, WireMessage msg,
+                         overlay::MessageClass cls);
+  void retransmit(std::uint64_t seq);
+  void handle_ack(std::uint64_t acked_seq);
 
   /// Next hop toward `key`: leaf set if in range, else prefix routing,
   /// else the closest preceding known node (guaranteed progress).
@@ -133,6 +179,19 @@ class PastryNode final : public overlay::OverlayNode {
   std::vector<Key> leaf_pred_;  // nearest first (counter-clockwise)
   std::vector<Key> leaf_succ_;  // nearest first (clockwise)
   std::vector<std::optional<Key>> table_;  // one row per identifier bit
+
+  // Ack/retry reliability layer, mirroring ChordNode.
+  struct PendingSend {
+    Key to = 0;
+    WireMessage msg;
+    overlay::MessageClass cls = overlay::MessageClass::kControl;
+    std::uint32_t retries = 0;
+    sim::SimTime timeout = 0;
+    sim::Simulator::EventId timer = sim::Simulator::kInvalidEvent;
+  };
+  std::unordered_map<std::uint64_t, PendingSend> pending_sends_;
+  std::uint64_t next_send_seq_ = 1;
+  std::unordered_map<Key, std::unordered_set<std::uint64_t>> seen_seqs_;
 };
 
 /// Simulation container: owns the nodes, the wire and a routing oracle.
@@ -140,6 +199,7 @@ class PastryNetwork {
  public:
   PastryNetwork(sim::Simulator& sim, PastryConfig cfg, std::uint64_t seed,
                 std::unique_ptr<sim::LatencyModel> latency = nullptr);
+  ~PastryNetwork();
 
   PastryNetwork(const PastryNetwork&) = delete;
   PastryNetwork& operator=(const PastryNetwork&) = delete;
@@ -152,7 +212,8 @@ class PastryNetwork {
 
   PastryNode* node(Key id);
   std::size_t node_count() const { return nodes_.size(); }
-  std::vector<Key> ids() const;
+  std::vector<Key> ids() const { return ids_; }
+  /// Node by dense index, in id order. O(1): ids are a sorted vector.
   PastryNode& node_at(std::size_t i);
   Key oracle_successor(Key key) const;
 
@@ -170,11 +231,13 @@ class PastryNetwork {
   sim::Simulator& sim_;
   PastryConfig cfg_;
   Rng rng_;
+  Rng loss_rng_;  // dedicated stream; untouched unless loss is enabled
   std::unique_ptr<sim::LatencyModel> latency_;
+  std::unique_ptr<sim::LossModel> loss_;  // null when loss_rate == 0
   overlay::TrafficStats traffic_;
   metrics::Registry registry_;
   std::map<Key, std::unique_ptr<PastryNode>> nodes_;
-  std::set<Key> ids_;
+  std::vector<Key> ids_;  // sorted
 };
 
 }  // namespace cbps::pastry

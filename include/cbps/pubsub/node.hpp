@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cbps/overlay/node.hpp"
@@ -51,6 +53,13 @@ struct PubSubConfig {
   /// Matching engine at the rendezvous (brute-force scan or the
   /// counting index of Fabret et al., the paper's [6]).
   MatchEngine match_engine = MatchEngine::kBruteForce;
+
+  /// Drop notifications for an (event, subscription) pair already seen
+  /// here. The overlay's ack/retry layer can deliver an application
+  /// message twice when a retransmit is re-routed around a crashed hop,
+  /// so lossy runs need this end-to-end safety net (PubSubSystem turns
+  /// it on automatically whenever the network injects loss).
+  bool duplicate_suppression = false;
 };
 
 class PubSubNode final : public overlay::OverlayApp {
@@ -94,6 +103,9 @@ class PubSubNode final : public overlay::OverlayApp {
   overlay::OverlayNode& overlay() { return overlay_; }
   std::uint64_t notifications_received() const {
     return notifications_received_;
+  }
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
   }
   /// Publish-to-notify latency (seconds) of notifications received here.
   const RunningStat& notification_delay() const {
@@ -161,7 +173,11 @@ class PubSubNode final : public overlay::OverlayApp {
   std::uint64_t notifications_received_ = 0;
   std::uint64_t notify_batches_sent_ = 0;
   std::uint64_t notifications_sent_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
   RunningStat notification_delay_;
+  // (event, subscription) pairs already surfaced to the sink; only
+  // populated when cfg_.duplicate_suppression is on.
+  std::set<std::pair<EventId, SubscriptionId>> delivered_;
 };
 
 }  // namespace cbps::pubsub

@@ -121,6 +121,8 @@ class PubSubSystem {
   std::uint64_t subscriptions_issued() const { return subs_issued_; }
   std::uint64_t publications_issued() const { return pubs_issued_; }
   std::uint64_t notifications_delivered() const;
+  /// Notifications dropped by the end-to-end duplicate filter (lossy runs).
+  std::uint64_t duplicates_suppressed() const;
 
   /// Publish-to-notify latency across all subscribers (seconds).
   RunningStat notification_delay() const;

@@ -1,0 +1,40 @@
+// Message-loss fault injection for the simulated wire.
+//
+// A LossModel decides, per transmitted message, whether the network
+// drops it in flight. Networks sample it after hop accounting (the
+// message consumed bandwidth) and before scheduling delivery. The
+// model draws from a dedicated Rng stream split off the run RNG, so
+// enabling loss never perturbs latency sampling and a run with
+// rate == 0 is bit-identical to one with no model installed.
+#pragma once
+
+#include <memory>
+
+#include "cbps/common/assert.hpp"
+#include "cbps/common/rng.hpp"
+
+namespace cbps::sim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True if this transmission is lost.
+  virtual bool drop(Rng& rng) = 0;
+};
+
+/// Drops every message independently with a fixed probability.
+class UniformLoss final : public LossModel {
+ public:
+  explicit UniformLoss(double rate) : rate_(rate) {
+    CBPS_ASSERT_MSG(rate >= 0.0 && rate <= 1.0,
+                    "loss rate must be in [0, 1]");
+  }
+
+  bool drop(Rng& rng) override { return rng.uniform01() < rate_; }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace cbps::sim

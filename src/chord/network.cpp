@@ -14,12 +14,22 @@ ChordNetwork::ChordNetwork(sim::Simulator& sim, ChordConfig cfg,
     : sim_(sim),
       cfg_(cfg),
       rng_(seed),
-      latency_(latency ? std::move(latency) : sim::default_latency()) {}
+      // Dedicated loss stream derived from the run seed: enabling loss
+      // must not perturb the latency/topology random sequences.
+      loss_rng_(seed ^ 0x9e3779b97f4a7c15ull),
+      latency_(latency ? std::move(latency) : sim::default_latency()) {
+  if (cfg_.loss_rate > 0.0) {
+    loss_ = std::make_unique<sim::UniformLoss>(cfg_.loss_rate);
+  }
+}
 
 ChordNetwork::~ChordNetwork() {
   // Timers owned by nodes reference the simulator; stop them while the
   // nodes still exist.
-  for (auto& [_, n] : nodes_) n->stop_maintenance();
+  for (auto& [_, n] : nodes_) {
+    n->stop_maintenance();
+    n->cancel_pending_sends();
+  }
 }
 
 ChordNode& ChordNetwork::add_node(const std::string& name) {
@@ -37,7 +47,7 @@ ChordNode& ChordNetwork::add_node_with_id(Key id, std::string name) {
   auto node = std::make_unique<ChordNode>(*this, id, std::move(name));
   ChordNode& ref = *node;
   nodes_.emplace(id, std::move(node));
-  alive_.insert(id);
+  alive_.insert(std::lower_bound(alive_.begin(), alive_.end(), id), id);
   return ref;
 }
 
@@ -77,13 +87,22 @@ ChordNode& ChordNetwork::join_node(const std::string& name, Key bootstrap) {
 void ChordNetwork::leave_gracefully(Key id) {
   CBPS_ASSERT(is_alive(id));
   nodes_.at(id)->leave_gracefully();
-  alive_.erase(id);
+  alive_.erase(std::lower_bound(alive_.begin(), alive_.end(), id));
+  // The process is still up (lame duck): it keeps retransmitting its
+  // pending reliable sends — the state handover above in particular —
+  // and may receive the acks for them. See transmit().
+  departed_.insert(id);
 }
 
 void ChordNetwork::crash(Key id) {
   CBPS_ASSERT(is_alive(id));
   nodes_.at(id)->stop_maintenance();
-  alive_.erase(id);
+  nodes_.at(id)->cancel_pending_sends();
+  alive_.erase(std::lower_bound(alive_.begin(), alive_.end(), id));
+}
+
+bool ChordNetwork::is_alive(Key id) const {
+  return std::binary_search(alive_.begin(), alive_.end(), id);
 }
 
 ChordNode* ChordNetwork::node(Key id) {
@@ -96,21 +115,15 @@ const ChordNode* ChordNetwork::node(Key id) const {
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
-std::vector<Key> ChordNetwork::alive_ids() const {
-  return {alive_.begin(), alive_.end()};
-}
-
 ChordNode& ChordNetwork::alive_node(std::size_t i) {
   CBPS_ASSERT(i < alive_.size());
-  auto it = alive_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(i));
-  return *nodes_.at(*it);
+  return *nodes_.at(alive_[i]);
 }
 
 Key ChordNetwork::oracle_successor(Key key) const {
   CBPS_ASSERT_MSG(!alive_.empty(), "no alive nodes");
-  auto it = alive_.lower_bound(key);
-  return it == alive_.end() ? *alive_.begin() : *it;
+  auto it = std::lower_bound(alive_.begin(), alive_.end(), key);
+  return it == alive_.end() ? alive_.front() : *it;
 }
 
 void ChordNetwork::start_maintenance_all() {
@@ -149,8 +162,25 @@ std::size_t wire_size_bytes(const WireMessage& msg) {
 
 bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
                             overlay::MessageClass cls) {
-  if (!alive_.contains(to)) return false;
+  if (!is_alive(to)) {
+    // Lame-duck exception: a gracefully-departed node is still running
+    // and listening for the acks of its draining sends. Everything
+    // else bounces — it has left the ring.
+    const bool ack_to_lame_duck =
+        std::holds_alternative<AckMsg>(msg) && departed_.contains(to);
+    if (!ack_to_lame_duck) return false;
+  }
   traffic_.record_hop(cls, wire_size_bytes(msg));
+
+  if (loss_ != nullptr && loss_->drop(loss_rng_)) {
+    // The message hit the wire (hop/bytes recorded) but never arrives.
+    registry_.counter("chord.net.lost").inc();
+    registry_
+        .counter(std::string("chord.net.lost.") +
+                 std::string(overlay::to_string(cls)))
+        .inc();
+    return true;
+  }
 
   const ChordNode& src = *nodes_.at(from);
   auto env = std::make_shared<Envelope>();
@@ -161,7 +191,12 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
 
   const sim::SimTime delay = latency_->sample(rng_);
   sim_.schedule_after(delay, [this, to, env] {
-    if (!alive_.contains(to)) return;  // destination died in flight
+    // Destination died in flight — except a lame-duck ack: the departed
+    // process is still up, waiting for exactly this.
+    if (!is_alive(to) && !(std::holds_alternative<AckMsg>(env->msg) &&
+                           departed_.contains(to))) {
+      return;
+    }
     nodes_.at(to)->receive(std::move(*env));
   });
   return true;

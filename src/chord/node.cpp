@@ -33,11 +33,105 @@ bool ChordNode::covers(Key k) const {
 
 bool ChordNode::transmit(Key to, WireMessage msg, MessageClass cls) {
   CBPS_ASSERT_MSG(to != id_, "self-transmit must be a local delivery");
+  if (config().reliable_transport() && seq_field(msg) != nullptr) {
+    return transmit_reliable(to, std::move(msg), cls);
+  }
   if (!net_.transmit(id_, to, std::move(msg), cls)) {
+    net_.registry().counter("chord.send_to_dead").inc();
     on_peer_dead(to);
     return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Ack/retry reliability (armed only when the network injects loss)
+// ---------------------------------------------------------------------------
+
+bool ChordNode::transmit_reliable(Key to, WireMessage msg,
+                                  MessageClass cls) {
+  const std::uint64_t seq = next_send_seq_++;
+  *seq_field(msg) = seq;
+  if (!net_.transmit(id_, to, msg, cls)) {
+    net_.registry().counter("chord.send_to_dead").inc();
+    on_peer_dead(to);
+    return false;
+  }
+  PendingSend p;
+  p.to = to;
+  p.cls = cls;
+  p.timeout = config().retry_base;
+  p.timer =
+      net_.sim().schedule_after(p.timeout, [this, seq] { retransmit(seq); });
+  p.msg = std::move(msg);  // retransmission copy; payload ptr is shared
+  pending_sends_.emplace(seq, std::move(p));
+  return true;
+}
+
+void ChordNode::retransmit(std::uint64_t seq) {
+  auto it = pending_sends_.find(seq);
+  if (it == pending_sends_.end()) return;  // acked since the timer fired
+  PendingSend& p = it->second;
+  if (p.retries >= config().max_retries) {
+    net_.registry().counter("chord.send_failed").inc();
+    pending_sends_.erase(it);
+    return;
+  }
+  ++p.retries;
+  net_.registry().counter("chord.retransmits").inc();
+  if (net_.transmit(id_, p.to, p.msg, p.cls)) {
+    p.timeout *= 2;  // exponential backoff
+    p.timer = net_.sim().schedule_after(p.timeout,
+                                        [this, seq] { retransmit(seq); });
+    return;
+  }
+  // The peer died while we were retrying. Evict it, then re-route the
+  // message through a live candidate where the semantics allow it. The
+  // seq is reset to 0 so the re-injected copy gets a fresh id (and a
+  // fresh pending entry) at its next transmit.
+  const Key dead = p.to;
+  WireMessage msg = std::move(p.msg);
+  pending_sends_.erase(it);
+  net_.registry().counter("chord.send_to_dead").inc();
+  on_peer_dead(dead);
+  if (auto* r = std::get_if<RouteMsg>(&msg)) {
+    r->seq = 0;
+    forward_route(std::move(*r));
+  } else if (auto* m = std::get_if<McastMsg>(&msg)) {
+    run_mcast(std::move(m->targets), m->payload, m->hops,
+              /*initiator=*/false);
+  } else if (auto* c = std::get_if<ChainMsg>(&msg)) {
+    c->seq = 0;
+    forward_chain(std::move(*c));
+  } else if (auto* pl = std::get_if<PredLeaveMsg>(&msg)) {
+    // The successor we were handing our state to died mid-handover;
+    // hand it to the next live successor instead (we already evicted
+    // the dead one above).
+    const Key succ = successor_id();
+    if (succ != id_) {
+      pl->seq = 0;
+      transmit(succ, std::move(*pl), MessageClass::kStateTransfer);
+    } else {
+      net_.registry().counter("chord.send_failed").inc();
+    }
+  } else {
+    // NeighborMsg / SuccLeaveMsg / state-pull traffic: the peer it
+    // addressed is gone and no equivalent recipient exists; count the
+    // loss.
+    net_.registry().counter("chord.send_failed").inc();
+  }
+}
+
+void ChordNode::handle_ack(std::uint64_t acked_seq) {
+  auto it = pending_sends_.find(acked_seq);
+  if (it == pending_sends_.end()) return;  // late ack of a retransmit
+  net_.sim().cancel(it->second.timer);
+  pending_sends_.erase(it);
+}
+
+void ChordNode::cancel_pending_sends() {
+  for (auto& [_, p] : pending_sends_) net_.sim().cancel(p.timer);
+  pending_sends_.clear();
 }
 
 void ChordNode::on_peer_dead(Key peer) {
@@ -546,6 +640,11 @@ void ChordNode::handle_succ_leave(const SuccLeaveMsg& msg, Key from) {
 
 void ChordNode::leave_gracefully() {
   stop_maintenance();
+  // Pending reliable sends are deliberately NOT cancelled: the leaver
+  // lingers as a lame duck, retransmitting its in-flight messages (and
+  // the handover below) until they are acked or the budget runs out.
+  // The network keeps delivering acks to departed-but-not-crashed
+  // nodes for exactly this reason.
   const Key succ = successor_id();
   if (succ == id_) return;  // alone; nothing to hand over
   PayloadPtr st;
@@ -593,6 +692,18 @@ void ChordNode::receive(Envelope env) {
   // (joining nodes) and must not become routing candidates.
   if (env.from_has_pred) cache_.insert(env.from, env.from_pred);
 
+  // Reliability: ack every seq-stamped message, then suppress
+  // retransmits we already processed. The ack is sent unconditionally —
+  // a duplicate means our previous ack was lost in flight.
+  if (const std::uint64_t* seq = seq_field(env.msg);
+      seq != nullptr && *seq != 0) {
+    transmit(env.from, AckMsg{*seq}, MessageClass::kControl);
+    if (!seen_seqs_[env.from].insert(*seq).second) {
+      net_.registry().counter("chord.dup_suppressed").inc();
+      return;
+    }
+  }
+
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -604,6 +715,8 @@ void ChordNode::receive(Envelope env) {
           handle_chain(std::move(m));
         } else if constexpr (std::is_same_v<T, NeighborMsg>) {
           if (app_ != nullptr) app_->on_deliver(id_, m.payload);
+        } else if constexpr (std::is_same_v<T, AckMsg>) {
+          handle_ack(m.acked_seq);
         } else if constexpr (std::is_same_v<T, OwnerInfoMsg>) {
           cache_.insert(m.owner, m.owner_range_lo);
         } else if constexpr (std::is_same_v<T, FindSuccessorReq>) {

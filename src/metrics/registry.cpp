@@ -10,8 +10,10 @@ std::uint64_t Registry::counter_value(const std::string& name) const {
 }
 
 void Registry::reset_all() {
+  // Reset in place: callers hold Counter&/RunningStat& across resets
+  // (per-phase measurement), so entries must never be destroyed.
   for (auto& [_, c] : counters_) c.reset();
-  stats_.clear();
+  for (auto& [_, s] : stats_) s.reset();
 }
 
 void Registry::print(std::ostream& os) const {

@@ -12,7 +12,20 @@ PastryNetwork::PastryNetwork(sim::Simulator& sim, PastryConfig cfg,
     : sim_(sim),
       cfg_(cfg),
       rng_(seed),
-      latency_(latency ? std::move(latency) : sim::default_latency()) {}
+      // Dedicated loss stream derived from the run seed: enabling loss
+      // must not perturb the latency random sequence.
+      loss_rng_(seed ^ 0x9e3779b97f4a7c15ull),
+      latency_(latency ? std::move(latency) : sim::default_latency()) {
+  if (cfg_.loss_rate > 0.0) {
+    loss_ = std::make_unique<sim::UniformLoss>(cfg_.loss_rate);
+  }
+}
+
+PastryNetwork::~PastryNetwork() {
+  // Retry timers reference the simulator and capture node pointers;
+  // cancel them while the nodes still exist.
+  for (auto& [_, n] : nodes_) n->cancel_pending_sends();
+}
 
 PastryNode& PastryNetwork::add_node(const std::string& name) {
   Key id = consistent_hash(name, cfg_.ring);
@@ -28,12 +41,12 @@ PastryNode& PastryNetwork::add_node_with_id(Key id, std::string name) {
   auto node = std::make_unique<PastryNode>(*this, id, std::move(name));
   PastryNode& ref = *node;
   nodes_.emplace(id, std::move(node));
-  ids_.insert(id);
+  ids_.insert(std::lower_bound(ids_.begin(), ids_.end(), id), id);
   return ref;
 }
 
 void PastryNetwork::build_static_ring() {
-  const std::vector<Key> sorted(ids_.begin(), ids_.end());
+  const std::vector<Key>& sorted = ids_;
   const std::size_t n = sorted.size();
   CBPS_ASSERT(n > 0);
   const unsigned m = cfg_.ring.bits();
@@ -58,7 +71,7 @@ void PastryNetwork::build_static_ring() {
       const Key flipped_bit = ((id >> low_bits) & 1) ^ 1;
       const Key lo = ((prefix << 1) | flipped_bit) << low_bits;
       const Key hi = lo | ((Key{1} << low_bits) - 1);
-      auto it = ids_.lower_bound(lo);
+      auto it = std::lower_bound(ids_.begin(), ids_.end(), lo);
       if (it != ids_.end() && *it <= hi) {
         table[r] = *it;
       }
@@ -73,21 +86,15 @@ PastryNode* PastryNetwork::node(Key id) {
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
-std::vector<Key> PastryNetwork::ids() const {
-  return {ids_.begin(), ids_.end()};
-}
-
 PastryNode& PastryNetwork::node_at(std::size_t i) {
   CBPS_ASSERT(i < ids_.size());
-  auto it = ids_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(i));
-  return *nodes_.at(*it);
+  return *nodes_.at(ids_[i]);
 }
 
 Key PastryNetwork::oracle_successor(Key key) const {
   CBPS_ASSERT(!ids_.empty());
-  auto it = ids_.lower_bound(key);
-  return it == ids_.end() ? *ids_.begin() : *it;
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), key);
+  return it == ids_.end() ? ids_.front() : *it;
 }
 
 namespace {
@@ -101,8 +108,10 @@ std::size_t wire_size_bytes(const WireMessage& msg) {
         } else if constexpr (std::is_same_v<T, McastMsg> ||
                              std::is_same_v<T, ChainMsg>) {
           return m.payload->size_bytes() + 8 * m.targets.size();
-        } else {
+        } else if constexpr (std::is_same_v<T, NeighborMsg>) {
           return m.payload->size_bytes();
+        } else {
+          return 16;  // AckMsg
         }
       },
       msg);
@@ -112,14 +121,24 @@ std::size_t wire_size_bytes(const WireMessage& msg) {
 
 bool PastryNetwork::transmit(Key from, Key to, WireMessage msg,
                              overlay::MessageClass cls) {
-  (void)from;
-  if (!ids_.contains(to)) return false;
+  if (!std::binary_search(ids_.begin(), ids_.end(), to)) return false;
   traffic_.record_hop(cls, wire_size_bytes(msg));
+
+  if (loss_ != nullptr && loss_->drop(loss_rng_)) {
+    // The message hit the wire (hop/bytes recorded) but never arrives.
+    registry_.counter("pastry.net.lost").inc();
+    registry_
+        .counter(std::string("pastry.net.lost.") +
+                 std::string(overlay::to_string(cls)))
+        .inc();
+    return true;
+  }
+
   auto boxed = std::make_shared<WireMessage>(std::move(msg));
   const sim::SimTime delay = latency_->sample(rng_);
-  sim_.schedule_after(delay, [this, to, boxed] {
-    if (!ids_.contains(to)) return;
-    nodes_.at(to)->receive(std::move(*boxed));
+  sim_.schedule_after(delay, [this, from, to, boxed] {
+    if (!std::binary_search(ids_.begin(), ids_.end(), to)) return;
+    nodes_.at(to)->receive(from, std::move(*boxed));
   });
   return true;
 }

@@ -42,7 +42,72 @@ void PastryNode::install_state(std::vector<Key> leaf_pred,
 
 bool PastryNode::transmit(Key to, WireMessage msg, MessageClass cls) {
   CBPS_ASSERT_MSG(to != id_, "self-transmit must be a local delivery");
-  return net_.transmit(id_, to, std::move(msg), cls);
+  if (config().reliable_transport() && seq_field(msg) != nullptr) {
+    return transmit_reliable(to, std::move(msg), cls);
+  }
+  if (!net_.transmit(id_, to, std::move(msg), cls)) {
+    net_.registry().counter("pastry.send_to_dead").inc();
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Ack/retry reliability (armed only when the network injects loss)
+// ---------------------------------------------------------------------------
+
+bool PastryNode::transmit_reliable(Key to, WireMessage msg,
+                                   MessageClass cls) {
+  const std::uint64_t seq = next_send_seq_++;
+  *seq_field(msg) = seq;
+  if (!net_.transmit(id_, to, msg, cls)) {
+    net_.registry().counter("pastry.send_to_dead").inc();
+    return false;
+  }
+  PendingSend p;
+  p.to = to;
+  p.cls = cls;
+  p.timeout = config().retry_base;
+  p.timer =
+      net_.sim().schedule_after(p.timeout, [this, seq] { retransmit(seq); });
+  p.msg = std::move(msg);  // retransmission copy; payload ptr is shared
+  pending_sends_.emplace(seq, std::move(p));
+  return true;
+}
+
+void PastryNode::retransmit(std::uint64_t seq) {
+  auto it = pending_sends_.find(seq);
+  if (it == pending_sends_.end()) return;  // acked since the timer fired
+  PendingSend& p = it->second;
+  if (p.retries >= config().max_retries) {
+    net_.registry().counter("pastry.send_failed").inc();
+    pending_sends_.erase(it);
+    return;
+  }
+  ++p.retries;
+  net_.registry().counter("pastry.retransmits").inc();
+  if (net_.transmit(id_, p.to, p.msg, p.cls)) {
+    p.timeout *= 2;  // exponential backoff
+    p.timer = net_.sim().schedule_after(p.timeout,
+                                        [this, seq] { retransmit(seq); });
+    return;
+  }
+  // The Pastry harness has no membership dynamics, so this only fires if
+  // a peer was removed out-of-band; count the loss.
+  pending_sends_.erase(it);
+  net_.registry().counter("pastry.send_failed").inc();
+}
+
+void PastryNode::handle_ack(std::uint64_t acked_seq) {
+  auto it = pending_sends_.find(acked_seq);
+  if (it == pending_sends_.end()) return;  // late ack of a retransmit
+  net_.sim().cancel(it->second.timer);
+  pending_sends_.erase(it);
+}
+
+void PastryNode::cancel_pending_sends() {
+  for (auto& [_, p] : pending_sends_) net_.sim().cancel(p.timer);
+  pending_sends_.clear();
 }
 
 unsigned PastryNode::shared_prefix_bits(Key key) const {
@@ -279,7 +344,19 @@ void PastryNode::send_to_predecessor(PayloadPtr payload) {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-void PastryNode::receive(WireMessage msg) {
+void PastryNode::receive(Key from, WireMessage msg) {
+  // Reliability: ack every seq-stamped message, then suppress
+  // retransmits we already processed (the ack is re-sent — a duplicate
+  // means our previous ack was lost in flight).
+  if (const std::uint64_t* seq = seq_field(msg);
+      seq != nullptr && *seq != 0) {
+    transmit(from, AckMsg{*seq}, MessageClass::kControl);
+    if (!seen_seqs_[from].insert(*seq).second) {
+      net_.registry().counter("pastry.dup_suppressed").inc();
+      return;
+    }
+  }
+
   std::visit(
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
@@ -297,6 +374,8 @@ void PastryNode::receive(WireMessage msg) {
           }
         } else if constexpr (std::is_same_v<T, NeighborMsg>) {
           if (app_ != nullptr) app_->on_deliver(id_, m.payload);
+        } else if constexpr (std::is_same_v<T, AckMsg>) {
+          handle_ack(m.acked_seq);
         }
       },
       msg);

@@ -177,6 +177,11 @@ void PubSubNode::handle_publish(const PublishMsg& msg,
 
 void PubSubNode::handle_notify(const NotifyMsg& msg) {
   for (const Notification& n : msg.batch) {
+    if (cfg_.duplicate_suppression &&
+        !delivered_.emplace(n.event->id, n.subscription).second) {
+      ++duplicates_suppressed_;
+      continue;
+    }
     ++notifications_received_;
     notification_delay_.add(
         sim::to_seconds(sim_.now() - n.published_at));

@@ -9,6 +9,9 @@
 namespace cbps::pubsub {
 
 PubSubSystem::PubSubSystem(SystemConfig cfg, Schema schema) : cfg_(cfg) {
+  // A lossy wire can deliver an application message twice (retransmit
+  // re-routed around a crashed hop); arm the end-to-end safety net.
+  if (cfg_.chord.loss_rate > 0.0) cfg_.pubsub.duplicate_suppression = true;
   mapping_ = make_mapping(cfg.mapping, std::move(schema), cfg.chord.ring,
                           cfg.mapping_options);
   network_ = std::make_unique<chord::ChordNetwork>(
@@ -35,7 +38,7 @@ PubSubSystem::PubSubSystem(SystemConfig cfg, Schema schema) : cfg_(cfg) {
   host_of_.reserve(node_ids_.size());
   for (Key id : node_ids_) {
     nodes_.push_back(std::make_unique<PubSubNode>(
-        *network_->node(id), sim_, *mapping_, cfg.pubsub));
+        *network_->node(id), sim_, *mapping_, cfg_.pubsub));
     host_of_.push_back(host_by_id.at(id));
   }
 }
@@ -197,6 +200,12 @@ PubSubSystem::StorageStats PubSubSystem::storage_stats() const {
 std::uint64_t PubSubSystem::notifications_delivered() const {
   std::uint64_t n = 0;
   for (const auto& node : nodes_) n += node->notifications_received();
+  return n;
+}
+
+std::uint64_t PubSubSystem::duplicates_suppressed() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->duplicates_suppressed();
   return n;
 }
 

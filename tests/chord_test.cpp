@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -766,6 +767,48 @@ TEST(ChordEdgeTest, EmptyMcastIsNoOp) {
   h.sim.run();
   EXPECT_TRUE(h.recorder.mcast.empty());
   EXPECT_EQ(h.net->traffic().total_hops(), 0u);
+}
+
+TEST(ChordNetworkTest, AliveNodeIndexesInIdOrderAndStaysFastAtScale) {
+  // Regression: alive_node(i) used to walk a std::map with std::advance,
+  // making every dense-index pick O(n) — the workload drivers sit on this
+  // path, so large-ring benches degraded quadratically. The alive set is
+  // now a sorted vector with O(1) indexing.
+  sim::Simulator sim;
+  ChordConfig cfg;
+  cfg.ring = RingParams{24};
+  ChordNetwork net(sim, cfg, 1);
+  const std::size_t kNodes = 8'192;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    net.add_node_with_id(static_cast<Key>(i * 7 + 3),
+                         "n" + std::to_string(i));
+  }
+
+  // Dense indexing agrees with the sorted id list, including after a
+  // membership change in the middle of the range.
+  const std::vector<Key> ids = net.alive_ids();
+  ASSERT_EQ(ids.size(), kNodes);
+  for (std::size_t i : {std::size_t{0}, kNodes / 3, kNodes - 1}) {
+    EXPECT_EQ(net.alive_node(i).id(), ids[i]);
+  }
+  net.crash(ids[kNodes / 2]);
+  ASSERT_EQ(net.alive_count(), kNodes - 1);
+  EXPECT_EQ(net.alive_node(kNodes / 2).id(), ids[kNodes / 2 + 1]);
+
+  // ~3M picks: O(1) finishes in well under a second; the old O(n) walk
+  // (~12 billion iterator steps here) blows any sane budget.
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t sum = 0;
+  for (std::uint64_t round = 0; round < 400; ++round) {
+    for (std::size_t i = 0; i < kNodes - 1; ++i) {
+      sum += net.alive_node(i).id();
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(sum, 0u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2'000);
 }
 
 TEST(ChordMaintenanceTest, StabilizationFixesManuallyBrokenRing) {

@@ -103,6 +103,29 @@ TEST_F(McastPartitionTest, WrappingTargets) {
   EXPECT_EQ(part.delegated[1], (std::vector<Key>{250, 5}));
 }
 
+TEST_F(McastPartitionTest, EmptyTargetsYieldEmptyPartition) {
+  const auto part =
+      partition_mcast_targets(ring_, self_, covers_, {}, {120, 200});
+  EXPECT_TRUE(part.local.empty());
+  ASSERT_EQ(part.delegated.size(), 2u);
+  EXPECT_TRUE(part.delegated[0].empty());
+  EXPECT_TRUE(part.delegated[1].empty());
+  EXPECT_TRUE(part.undeliverable.empty());
+}
+
+TEST_F(McastPartitionTest, KeyBeyondSoleCandidateFallsBackToFirst) {
+  // Keys past the only candidate have no strictly-preceding delegate to
+  // fall back on (the scan stops at index 1), so the `chosen = 0`
+  // default must route them to the first candidate rather than lose
+  // them — it is still the best forwarding step available.
+  const auto part =
+      partition_mcast_targets(ring_, self_, covers_, {250, 5}, {120});
+  EXPECT_TRUE(part.local.empty());
+  ASSERT_EQ(part.delegated.size(), 1u);
+  EXPECT_EQ(part.delegated[0], (std::vector<Key>{250, 5}));
+  EXPECT_TRUE(part.undeliverable.empty());
+}
+
 TEST_F(McastPartitionTest, DisjointUnionPreserved) {
   // Every input key appears in exactly one output bucket.
   std::vector<Key> targets;
@@ -157,7 +180,35 @@ TEST(RegistryTest, ResetAll) {
   reg.stat("s").add(1.0);
   reg.reset_all();
   EXPECT_EQ(reg.counter_value("a"), 0u);
-  EXPECT_TRUE(reg.stats().empty());
+  // Entries are reset in place, never destroyed: names persist (so a
+  // post-reset print still shows every metric) with zeroed contents.
+  ASSERT_EQ(reg.stats().size(), 1u);
+  EXPECT_EQ(reg.stats().at("s").count(), 0u);
+}
+
+TEST(RegistryTest, ResetAllPreservesHandedOutReferences) {
+  // Regression: reset_all() used to clear() the underlying maps, which
+  // destroyed the Counter/RunningStat objects long-lived callers hold
+  // references to (ChordNetwork caches them per message class) — any
+  // use after reset was a use-after-free. Entries must be zeroed in
+  // place instead.
+  Registry reg;
+  Counter& hops = reg.counter("hops");
+  RunningStat& delay = reg.stat("delay");
+  hops.inc(5);
+  delay.add(2.0);
+
+  reg.reset_all();
+
+  hops.inc(3);
+  delay.add(7.0);
+  EXPECT_EQ(reg.counter_value("hops"), 3u);
+  ASSERT_EQ(reg.stats().count("delay"), 1u);
+  EXPECT_EQ(reg.stats().at("delay").count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.stats().at("delay").mean(), 7.0);
+  // And the handed-out references still alias the registry's entries.
+  EXPECT_EQ(&reg.counter("hops"), &hops);
+  EXPECT_EQ(&reg.stat("delay"), &delay);
 }
 
 }  // namespace

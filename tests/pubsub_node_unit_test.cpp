@@ -237,8 +237,10 @@ TEST_F(PubSubNodeUnitTest, ReplicationChainsAlongSuccessors) {
   EXPECT_FALSE(rep->record.replica);
 
   // Receiving a replica with remaining hops forwards a decremented copy.
+  // Copy before clear(): `rep` points into the payload that clear() frees.
+  auto replica = std::make_shared<ReplicaMsg>(*rep);
   overlay.sent.clear();
-  node->on_deliver(100, std::make_shared<ReplicaMsg>(*rep));
+  node->on_deliver(100, std::move(replica));
   ASSERT_EQ(overlay.sent.size(), 1u);
   const auto* fwd =
       dynamic_cast<const ReplicaMsg*>(overlay.sent[0].payload.get());
@@ -379,6 +381,76 @@ TEST_F(DeliveryCheckerTest, GraceWindowExemptsBoundaryPublishes) {
   checker.on_publish(event(1, 50), sim::sec(101));
   const auto report = checker.verify(/*grace=*/sim::sec(2));
   EXPECT_EQ(report.expected, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(DeliveryCheckerTest, SubscribeGraceBoundaryIsInclusive) {
+  // A publish at exactly subscribed_at + grace is clearly active (the
+  // window is closed on this edge); one microtick earlier is still in
+  // the grace region and demands nothing.
+  DeliveryChecker checker;
+  checker.on_subscribe(sub(1, 0, 100), sim::sec(100), sim::kSimTimeNever);
+  checker.on_publish(event(1, 50), sim::sec(102));      // == +grace
+  checker.on_publish(event(2, 50), sim::sec(102) - 1);  // just inside grace
+  const auto report = checker.verify(/*grace=*/sim::sec(2));
+  EXPECT_EQ(report.expected, 1u);  // only event 1
+  EXPECT_EQ(report.missing, 1u);
+}
+
+TEST_F(DeliveryCheckerTest, UnsubscribeGraceBoundaryIsInclusive) {
+  // Symmetric at the tail: a publish whose grace window ends exactly at
+  // the unsubscribe time is still clearly active; one microtick later
+  // the window straddles the boundary and the publish is exempt.
+  DeliveryChecker checker;
+  checker.on_subscribe(sub(1, 0, 100), sim::sec(0), sim::kSimTimeNever);
+  checker.on_unsubscribe(1, sim::sec(100));
+  checker.on_publish(event(1, 50), sim::sec(98));      // 98 + 2 == 100
+  checker.on_publish(event(2, 50), sim::sec(98) + 1);  // straddles the end
+  const auto report = checker.verify(/*grace=*/sim::sec(2));
+  EXPECT_EQ(report.expected, 1u);  // only event 1
+  EXPECT_EQ(report.missing, 1u);
+}
+
+TEST_F(DeliveryCheckerTest, ExpiryActsLikeUnsubscribeForGrace) {
+  DeliveryChecker checker;
+  checker.on_subscribe(sub(1, 0, 100), sim::sec(0),
+                       /*expires_at=*/sim::sec(100));
+  checker.on_publish(event(1, 50), sim::sec(98));  // clearly active
+  checker.on_publish(event(2, 50), sim::sec(99));  // grace region
+  checker.on_publish(event(3, 50), sim::sec(150));  // clearly expired
+  const auto report = checker.verify(/*grace=*/sim::sec(2));
+  EXPECT_EQ(report.expected, 1u);
+  EXPECT_EQ(report.missing, 1u);
+}
+
+TEST_F(DeliveryCheckerTest, DeliveryWithinGraceRegionIsTolerated) {
+  // In-flight at subscribe time: the delivery may or may not happen,
+  // and neither outcome is an error.
+  DeliveryChecker checker;
+  const auto s = sub(1, 0, 100);
+  const auto e = event(1, 50);
+  checker.on_subscribe(s, sim::sec(100), sim::kSimTimeNever);
+  checker.on_publish(e, sim::sec(101));  // inside the grace region
+  checker.on_notify(42, Notification{e, 1}, sim::sec(103));
+  const auto report = checker.verify(/*grace=*/sim::sec(2));
+  EXPECT_EQ(report.expected, 0u);
+  EXPECT_EQ(report.spurious, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(DeliveryCheckerTest, DeliveryAfterUnsubscribeIsNotSpurious) {
+  // Matched before the unsubscribe propagated: tolerated, unlike a
+  // delivery from before the subscription existed.
+  DeliveryChecker checker;
+  const auto s = sub(1, 0, 100);
+  const auto e = event(1, 50);
+  checker.on_subscribe(s, sim::sec(0), sim::kSimTimeNever);
+  checker.on_unsubscribe(1, sim::sec(50));
+  checker.on_publish(e, sim::sec(60));
+  checker.on_notify(42, Notification{e, 1}, sim::sec(61));
+  const auto report = checker.verify();
+  EXPECT_EQ(report.expected, 0u);
+  EXPECT_EQ(report.spurious, 0u);
   EXPECT_TRUE(report.ok());
 }
 

@@ -3,7 +3,7 @@
 // Exposes every knob of the paper's evaluation (§5) so a user can design
 // their own parameter sweep without writing C++:
 //
-//   $ cbps_sim --nodes=500 --mapping=m3 --transport=mcast \
+//   $ cbps_sim --nodes=500 --mapping=m3 --transport=mcast
 //              --subs=1000 --pubs=1000 --match-prob=0.5 --verify
 //
 // Prints the configuration, the per-request hop costs, storage stats and
@@ -71,6 +71,9 @@ int main(int argc, char** argv) {
   bool verify = false;
   std::string save_trace;
   std::string replay_trace;
+  double loss_rate = 0.0;
+  std::int64_t max_retries = 5;
+  double retry_base_ms = 250.0;
 
   FlagParser parser(
       "cbps_sim — content-based pub/sub over a simulated Chord overlay\n"
@@ -108,6 +111,12 @@ int main(int argc, char** argv) {
   parser.add("save-trace", "record the workload to this file", &save_trace);
   parser.add("replay-trace", "replay a recorded workload from this file",
              &replay_trace);
+  parser.add("loss-rate", "per-message drop probability [0,1); non-zero "
+             "arms ack/retry reliability", &loss_rate);
+  parser.add("max-retries", "retransmissions per reliable message",
+             &max_retries);
+  parser.add("retry-base-ms", "first ack timeout in ms (doubles per retry)",
+             &retry_base_ms);
   if (!parser.parse(argc, argv, std::cout, std::cerr)) return 1;
   if (verify && !replay_trace.empty()) {
     std::fprintf(stderr, "--verify cannot be combined with --replay-trace\n");
@@ -146,6 +155,13 @@ int main(int argc, char** argv) {
   cfg.verify = verify;
   cfg.trace_save_path = save_trace;
   cfg.trace_replay_path = replay_trace;
+  if (loss_rate < 0.0 || loss_rate >= 1.0) {
+    std::fprintf(stderr, "bad --loss-rate: %g (want [0,1))\n", loss_rate);
+    return 1;
+  }
+  cfg.loss_rate = loss_rate;
+  cfg.max_retries = static_cast<std::uint32_t>(max_retries);
+  cfg.retry_base = sim::from_seconds(retry_base_ms / 1000.0);
 
   std::printf("config: n=%zu ring=2^%u mapping=%s transport=%s subs=%llu "
               "pubs=%llu selective=%d p=%.2f disc=%lld buf=%d collect=%d "
@@ -181,6 +197,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.notifications_delivered));
   std::printf("  avg notification delay       %9.2fs\n",
               r.avg_notification_delay_s);
+  if (cfg.loss_rate > 0.0) {
+    std::printf("reliability (loss-rate %.3f, %u retries, base %.0fms):\n",
+                cfg.loss_rate, cfg.max_retries, retry_base_ms);
+    std::printf("  messages lost in flight      %10llu\n",
+                static_cast<unsigned long long>(r.messages_lost));
+    std::printf("  retransmissions              %10llu\n",
+                static_cast<unsigned long long>(r.retransmits));
+    std::printf("  sends failed (budget spent)  %10llu\n",
+                static_cast<unsigned long long>(r.sends_failed));
+    std::printf("  duplicates suppressed        %10llu\n",
+                static_cast<unsigned long long>(r.duplicates_suppressed));
+  }
   if (verify) {
     std::printf("verification: %s (%llu expected, %llu missing, "
                 "%llu duplicate, %llu spurious)\n",
