@@ -8,11 +8,13 @@
 // matched traffic still reached its subscribers — with and without
 // subscription replication (§4.1).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "cbps/pubsub/delivery_checker.hpp"
 #include "cbps/workload/churn.hpp"
 #include "cbps/workload/driver.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 
@@ -24,7 +26,16 @@ struct Row {
   std::uint64_t missing = 0;
   std::uint64_t duplicates = 0;
   double delivery_rate = 1.0;
+  std::uint64_t sim_events = 0;
 };
+
+bench::JsonFields json_fields(const Row& r) {
+  return {{"churn_events", static_cast<double>(r.events)},
+          {"expected", static_cast<double>(r.expected)},
+          {"missing", static_cast<double>(r.missing)},
+          {"duplicates", static_cast<double>(r.duplicates)},
+          {"delivery_rate", r.delivery_rate}};
+}
 
 Row run(double churn_interval_s, std::size_t replication) {
   pubsub::SystemConfig cfg;
@@ -79,36 +90,49 @@ Row run(double churn_interval_s, std::size_t replication) {
           ? 1.0
           : static_cast<double>(report.delivered) /
                 static_cast<double>(report.expected);
+  row.sim_events = system.sim().events_processed();
   return row;
 }
 
 }  // namespace
 
-int main() {
-  std::puts("=== Churn resilience: delivery rate under membership churn ===");
-  std::puts("64 nodes, 60 subscriptions + 400 publications (~2000s);");
-  std::puts("churn = Poisson joins/leaves/crashes; Mapping 3, m-cast\n");
-  std::printf("%-22s %-6s %8s %10s %9s %9s %10s\n", "churn interval",
-              "repl", "events", "expected", "missing", "dups",
-              "delivered");
+int main(int argc, char** argv) {
+  bench::Sweep<Row> sweep("churn_resilience");
+  if (!sweep.parse_args(argc, argv)) return 1;
+
   struct Case {
     const char* label;
     double interval_s;
   };
   const Case cases[] = {
       {"none", 0}, {"120s", 120}, {"60s", 60}, {"30s", 30}, {"15s", 15}};
-  for (const std::size_t repl : {std::size_t{0}, std::size_t{2}}) {
+  const std::size_t repls[] = {0, 2};
+  for (const std::size_t repl : repls) {
     for (const Case& c : cases) {
-      const Row r = run(c.interval_s, repl);
-      std::printf("%-22s %-6zu %8llu %10llu %9llu %9llu %9.1f%%\n",
-                  c.label, repl,
-                  static_cast<unsigned long long>(r.events),
-                  static_cast<unsigned long long>(r.expected),
-                  static_cast<unsigned long long>(r.missing),
-                  static_cast<unsigned long long>(r.duplicates),
-                  100.0 * r.delivery_rate);
+      sweep.add("churn=" + std::string(c.label) +
+                    "/repl=" + std::to_string(repl),
+                [interval = c.interval_s, repl] {
+                  return run(interval, repl);
+                });
     }
   }
+
+  std::puts("=== Churn resilience: delivery rate under membership churn ===");
+  std::puts("64 nodes, 60 subscriptions + 400 publications (~2000s);");
+  std::puts("churn = Poisson joins/leaves/crashes; Mapping 3, m-cast\n");
+  std::printf("%-22s %-6s %8s %10s %9s %9s %10s\n", "churn interval",
+              "repl", "events", "expected", "missing", "dups",
+              "delivered");
+  const std::size_t per_group = std::size(cases);
+  sweep.run([&](std::size_t i, const Row& r) {
+    std::printf("%-22s %-6zu %8llu %10llu %9llu %9llu %9.1f%%\n",
+                cases[i % per_group].label, repls[i / per_group],
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.expected),
+                static_cast<unsigned long long>(r.missing),
+                static_cast<unsigned long long>(r.duplicates),
+                100.0 * r.delivery_rate);
+  });
   std::puts("\ngraceful leaves and joins hand subscription state over and");
   std::puts("lose nothing; crashes can drop rendezvous state unless");
   std::puts("replication (r=2) keeps a copy on the successors (§4.1).");

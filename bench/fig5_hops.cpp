@@ -11,13 +11,34 @@
 // count is high (M1, M3).
 #include <cstdio>
 
-#include "harness.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::bench;
 
-int main() {
+int main(int argc, char** argv) {
   using Transport = pubsub::PubSubConfig::Transport;
+
+  Sweep<> sweep("fig5_hops");
+  if (!sweep.parse_args(argc, argv)) return 1;
+
+  const pubsub::MappingKind mappings[] = {
+      pubsub::MappingKind::kAttributeSplit,
+      pubsub::MappingKind::kKeySpaceSplit,
+      pubsub::MappingKind::kSelectiveAttribute};
+  const Transport transports[] = {Transport::kUnicast,
+                                  Transport::kMulticast};
+  for (const pubsub::MappingKind mapping : mappings) {
+    for (const Transport t : transports) {
+      ExperimentConfig cfg;
+      cfg.mapping = mapping;
+      cfg.sub_transport = t;
+      cfg.pub_transport = t;
+      cfg.subscriptions = 1000;
+      cfg.publications = 1000;
+      sweep.add(mapping_label(mapping) + "/" + transport_label(t), cfg);
+    }
+  }
 
   std::puts("=== Figure 5: hops per request, 3 mappings x {unicast, m-cast} ===");
   std::puts("n=500, 2^13 keys, no expiration, 0 selective attrs,");
@@ -25,42 +46,23 @@ int main() {
   std::printf("%-20s %-9s %12s %12s %12s %14s\n", "mapping", "transport",
               "hops/sub", "hops/pub", "hops/notif", "notifications");
 
-  double m1_unicast_sub_hops = 0;
-  double m1_mcast_sub_hops = 0;
-  double m3_unicast_sub_hops = 0;
-  double m3_mcast_sub_hops = 0;
+  const auto& results =
+      sweep.run([&](std::size_t i, const ExperimentResult& r) {
+        const auto mapping = mappings[i / 2];
+        const auto t = transports[i % 2];
+        std::printf("%-20s %-9s %12.1f %12.2f %12.2f %14llu\n",
+                    mapping_label(mapping).c_str(),
+                    transport_label(t).c_str(), r.hops_per_subscription,
+                    r.hops_per_publication, r.hops_per_notification,
+                    static_cast<unsigned long long>(
+                        r.notifications_delivered));
+      });
 
-  for (const pubsub::MappingKind mapping :
-       {pubsub::MappingKind::kAttributeSplit,
-        pubsub::MappingKind::kKeySpaceSplit,
-        pubsub::MappingKind::kSelectiveAttribute}) {
-    for (const Transport t : {Transport::kUnicast, Transport::kMulticast}) {
-      ExperimentConfig cfg;
-      cfg.mapping = mapping;
-      cfg.sub_transport = t;
-      cfg.pub_transport = t;
-      cfg.subscriptions = 1000;
-      cfg.publications = 1000;
-      const ExperimentResult r = run_experiment(cfg);
-      std::printf("%-20s %-9s %12.1f %12.2f %12.2f %14llu\n",
-                  mapping_label(mapping).c_str(), transport_label(t).c_str(),
-                  r.hops_per_subscription, r.hops_per_publication,
-                  r.hops_per_notification,
-                  static_cast<unsigned long long>(
-                      r.notifications_delivered));
-
-      if (mapping == pubsub::MappingKind::kAttributeSplit) {
-        (t == Transport::kUnicast ? m1_unicast_sub_hops
-                                  : m1_mcast_sub_hops) =
-            r.hops_per_subscription;
-      }
-      if (mapping == pubsub::MappingKind::kSelectiveAttribute) {
-        (t == Transport::kUnicast ? m3_unicast_sub_hops
-                                  : m3_mcast_sub_hops) =
-            r.hops_per_subscription;
-      }
-    }
-  }
+  // Point order: (M1, M2, M3) x (unicast, m-cast).
+  const double m1_unicast_sub_hops = results[0].hops_per_subscription;
+  const double m1_mcast_sub_hops = results[1].hops_per_subscription;
+  const double m3_unicast_sub_hops = results[4].hops_per_subscription;
+  const double m3_mcast_sub_hops = results[5].hops_per_subscription;
 
   std::printf("\nm-cast reduction of subscription hops: M1 %.0f%%, M3 %.0f%%"
               " (paper: >90%% for high-key-count mappings)\n",

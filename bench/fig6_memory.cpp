@@ -6,16 +6,17 @@
 // publications. Expected shape: M2 stores the least without selective
 // attributes; M3 benefits strongly from one selective attribute.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "harness.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::bench;
 
-int main() {
-  std::puts("=== Figure 6: max subscriptions per node vs expiration time ===");
-  std::puts("n=500, 25000 subscriptions (1 per 5s), no publications\n");
+int main(int argc, char** argv) {
+  Sweep<> sweep("fig6_memory");
+  if (!sweep.parse_args(argc, argv)) return 1;
 
   const std::vector<std::pair<const char*, sim::SimTime>> expiries = {
       {"5000s", sim::sec(5'000)},
@@ -23,19 +24,14 @@ int main() {
       {"60000s", sim::sec(60'000)},
       {"never", sim::kSimTimeNever},
   };
+  const pubsub::MappingKind mappings[] = {
+      pubsub::MappingKind::kAttributeSplit,
+      pubsub::MappingKind::kKeySpaceSplit,
+      pubsub::MappingKind::kSelectiveAttribute};
 
+  // Point order: selective x mapping x expiry (rows stream cell by cell).
   for (const int selective : {0, 1}) {
-    std::printf("--- %d selective attribute(s) ---\n", selective);
-    std::printf("%-20s", "mapping");
-    for (const auto& [label, _] : expiries) std::printf(" %10s", label);
-    std::printf("   %s\n", "(avg/node at 'never')");
-
-    for (const pubsub::MappingKind mapping :
-         {pubsub::MappingKind::kAttributeSplit,
-          pubsub::MappingKind::kKeySpaceSplit,
-          pubsub::MappingKind::kSelectiveAttribute}) {
-      std::printf("%-20s", mapping_label(mapping).c_str());
-      double avg_at_never = 0;
+    for (const pubsub::MappingKind mapping : mappings) {
       for (const auto& [label, ttl] : expiries) {
         ExperimentConfig cfg;
         cfg.mapping = mapping;
@@ -45,13 +41,37 @@ int main() {
         cfg.sub_ttl = ttl;
         // Memory is transport-independent; m-cast keeps the run fast.
         cfg.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
-        const ExperimentResult r = run_experiment(cfg);
-        std::printf(" %10zu", r.max_subs_per_node);
-        if (ttl == sim::kSimTimeNever) avg_at_never = r.avg_subs_per_node;
+        sweep.add(mapping_label(mapping) + "/sel" +
+                      std::to_string(selective) + "/ttl=" + label,
+                  cfg);
       }
-      std::printf("   %.1f\n", avg_at_never);
     }
-    std::puts("");
   }
+
+  std::puts("=== Figure 6: max subscriptions per node vs expiration time ===");
+  std::puts("n=500, 25000 subscriptions (1 per 5s), no publications\n");
+
+  const std::size_t per_row = expiries.size();
+  const std::size_t per_group = per_row * std::size(mappings);
+  sweep.run([&](std::size_t i, const ExperimentResult& r) {
+    const std::size_t group = i / per_group;       // selective 0/1
+    const std::size_t in_group = i % per_group;
+    const std::size_t mapping_idx = in_group / per_row;
+    const std::size_t expiry_idx = in_group % per_row;
+    if (in_group == 0) {
+      std::printf("--- %zu selective attribute(s) ---\n", group);
+      std::printf("%-20s", "mapping");
+      for (const auto& [label, _] : expiries) std::printf(" %10s", label);
+      std::printf("   %s\n", "(avg/node at 'never')");
+    }
+    if (expiry_idx == 0) {
+      std::printf("%-20s", mapping_label(mappings[mapping_idx]).c_str());
+    }
+    std::printf(" %10zu", r.max_subs_per_node);
+    if (expiries[expiry_idx].second == sim::kSimTimeNever) {
+      std::printf("   %.1f\n", r.avg_subs_per_node);
+    }
+    if (in_group + 1 == per_group) std::puts("");
+  });
   return 0;
 }

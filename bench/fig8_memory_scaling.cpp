@@ -9,29 +9,26 @@
 // attribute, M3's duplication is rare and it beats M2 for n below
 // ~2500 (§5.2).
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "harness.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::bench;
 
-int main() {
-  std::puts("=== Figure 8: max subscriptions per node vs number of nodes ===");
-  std::puts("25000 subscriptions, no publications, no expiration\n");
+int main(int argc, char** argv) {
+  Sweep<> sweep("fig8_memory_scaling");
+  if (!sweep.parse_args(argc, argv)) return 1;
 
   const std::vector<std::size_t> node_counts = {100, 250, 500, 1000, 2500};
+  const pubsub::MappingKind mappings[] = {
+      pubsub::MappingKind::kAttributeSplit,
+      pubsub::MappingKind::kKeySpaceSplit,
+      pubsub::MappingKind::kSelectiveAttribute};
 
   for (const int selective : {0, 1}) {
-    std::printf("--- %d selective attribute(s) ---\n", selective);
-    std::printf("%-20s", "mapping");
-    for (std::size_t n : node_counts) std::printf(" %9zu", n);
-    std::puts("");
-    for (const pubsub::MappingKind mapping :
-         {pubsub::MappingKind::kAttributeSplit,
-          pubsub::MappingKind::kKeySpaceSplit,
-          pubsub::MappingKind::kSelectiveAttribute}) {
-      std::printf("%-20s", mapping_label(mapping).c_str());
+    for (const pubsub::MappingKind mapping : mappings) {
       for (const std::size_t n : node_counts) {
         ExperimentConfig cfg;
         cfg.nodes = n;
@@ -40,12 +37,34 @@ int main() {
         cfg.subscriptions = 25'000;
         cfg.publications = 0;
         cfg.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
-        const ExperimentResult r = run_experiment(cfg);
-        std::printf(" %9zu", r.max_subs_per_node);
+        sweep.add(mapping_label(mapping) + "/sel" +
+                      std::to_string(selective) + "/n=" + std::to_string(n),
+                  cfg);
       }
+    }
+  }
+
+  std::puts("=== Figure 8: max subscriptions per node vs number of nodes ===");
+  std::puts("25000 subscriptions, no publications, no expiration\n");
+
+  const std::size_t per_row = node_counts.size();
+  const std::size_t per_group = per_row * std::size(mappings);
+  sweep.run([&](std::size_t i, const ExperimentResult& r) {
+    const std::size_t group = i / per_group;  // selective 0/1
+    const std::size_t in_group = i % per_group;
+    const std::size_t mapping_idx = in_group / per_row;
+    if (in_group == 0) {
+      std::printf("--- %zu selective attribute(s) ---\n", group);
+      std::printf("%-20s", "mapping");
+      for (std::size_t n : node_counts) std::printf(" %9zu", n);
       std::puts("");
     }
-    std::puts("");
-  }
+    if (in_group % per_row == 0) {
+      std::printf("%-20s", mapping_label(mappings[mapping_idx]).c_str());
+    }
+    std::printf(" %9zu", r.max_subs_per_node);
+    if ((in_group + 1) % per_row == 0) std::puts("");
+    if (in_group + 1 == per_group) std::puts("");
+  });
   return 0;
 }

@@ -8,9 +8,10 @@
 // Expected shape: both optimizations significantly reduce notification
 // hops, with most of the benefit already at small buffering periods.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "harness.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::bench;
@@ -26,13 +27,9 @@ struct Variant {
 
 }  // namespace
 
-int main() {
-  std::puts("=== Figure 9(a): notification hops vs matching probability ===");
-  std::puts("Mapping 3, n=500, 1000 subs + 2000 pubs; cell = (notify+collect)");
-  std::puts("hops per publication. The event stream is temporally local");
-  std::puts("(locality 0.9), the setting that motivates buffering in §4.3.2:");
-  std::puts("consecutive events have close values and hit the same");
-  std::puts("subscriptions/rendezvous repeatedly.\n");
+int main(int argc, char** argv) {
+  Sweep<> sweep("fig9a_buffering");
+  if (!sweep.parse_args(argc, argv)) return 1;
 
   const std::vector<Variant> variants = {
       {"no buf, no collect", false, false, sim::sec(5)},
@@ -43,14 +40,7 @@ int main() {
   };
   const std::vector<double> probs = {0.1, 0.25, 0.5, 0.75, 1.0};
 
-  std::printf("%-22s", "configuration");
-  for (double p : probs) std::printf(" %9.2f", p);
-  std::printf(" %14s %12s\n", "avg delay @0.5", "KB @0.5");
-
   for (const Variant& v : variants) {
-    std::printf("%-22s", v.label);
-    double delay_at_half = 0;
-    double kb_at_half = 0;
     for (const double p : probs) {
       ExperimentConfig cfg;
       cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
@@ -61,15 +51,41 @@ int main() {
       cfg.subscriptions = 1000;
       cfg.publications = 2000;
       cfg.event_locality = 0.9;
-      const ExperimentResult r = run_experiment(cfg);
-      std::printf(" %9.2f", r.notify_hops_per_publication);
-      if (p == 0.5) {
-        delay_at_half = r.avg_notification_delay_s;
-        kb_at_half = static_cast<double>(r.notify_bytes) / 1024.0;
-      }
+      sweep.add(std::string(v.label) + "/p=" + std::to_string(p), cfg);
     }
-    std::printf(" %13.1fs %11.1f\n", delay_at_half, kb_at_half);
   }
+
+  std::puts("=== Figure 9(a): notification hops vs matching probability ===");
+  std::puts("Mapping 3, n=500, 1000 subs + 2000 pubs; cell = (notify+collect)");
+  std::puts("hops per publication. The event stream is temporally local");
+  std::puts("(locality 0.9), the setting that motivates buffering in §4.3.2:");
+  std::puts("consecutive events have close values and hit the same");
+  std::puts("subscriptions/rendezvous repeatedly.\n");
+
+  std::printf("%-22s", "configuration");
+  for (double p : probs) std::printf(" %9.2f", p);
+  std::printf(" %14s %12s\n", "avg delay @0.5", "KB @0.5");
+
+  const std::size_t per_row = probs.size();
+  double delay_at_half = 0;
+  double kb_at_half = 0;
+  sweep.run([&](std::size_t i, const ExperimentResult& r) {
+    const std::size_t variant_idx = i / per_row;
+    const std::size_t prob_idx = i % per_row;
+    if (prob_idx == 0) {
+      std::printf("%-22s", variants[variant_idx].label);
+      delay_at_half = kb_at_half = 0;
+    }
+    std::printf(" %9.2f", r.notify_hops_per_publication);
+    if (probs[prob_idx] == 0.5) {
+      delay_at_half = r.avg_notification_delay_s;
+      kb_at_half = static_cast<double>(r.notify_bytes) / 1024.0;
+    }
+    if (prob_idx + 1 == per_row) {
+      std::printf(" %13.1fs %11.1f\n", delay_at_half, kb_at_half);
+    }
+  });
+
   std::puts("\n(delay = what the hop savings cost — the paper notes the");
   std::puts("optimizations 'introduce only a delay in the notification");
   std::puts("itself'. KB = total notification bytes: message COUNT drops");

@@ -10,17 +10,17 @@
 // Expected shape: coarser discretization -> markedly fewer hops per
 // subscription.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "harness.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::bench;
 
-int main() {
-  std::puts("=== Figure 9(b): subscription hops vs discretization ===");
-  std::puts("Mapping 3, unicast, n=500, 1000 subscriptions; rows sweep the");
-  std::puts("average range size (non-selective range bound)\n");
+int main(int argc, char** argv) {
+  Sweep<> sweep("fig9b_discretization");
+  if (!sweep.parse_args(argc, argv)) return 1;
 
   struct Disc {
     const char* label;
@@ -30,13 +30,8 @@ int main() {
       {"none", 0.0}, {"10% of range", 0.10}, {"20% of range", 0.20}};
   const std::vector<double> range_fracs = {0.01, 0.03, 0.05};
 
-  std::printf("%-22s", "avg range size");
-  for (const Disc& d : discs) std::printf(" %14s", d.label);
-  std::puts("");
-
   for (const double frac : range_fracs) {
     const double mean_range = frac * 1'000'000 / 2.0;
-    std::printf("%-22.0f", mean_range);
     for (const Disc& d : discs) {
       ExperimentConfig cfg;
       cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
@@ -47,11 +42,28 @@ int main() {
               : static_cast<Value>(mean_range * d.frac_of_mean_range);
       cfg.subscriptions = 1000;
       cfg.publications = 0;
-      const ExperimentResult r = run_experiment(cfg);
-      std::printf(" %14.1f", r.hops_per_subscription);
+      sweep.add("range=" + std::to_string(mean_range) + "/disc=" + d.label,
+                cfg);
     }
-    std::puts("");
   }
+
+  std::puts("=== Figure 9(b): subscription hops vs discretization ===");
+  std::puts("Mapping 3, unicast, n=500, 1000 subscriptions; rows sweep the");
+  std::puts("average range size (non-selective range bound)\n");
+
+  std::printf("%-22s", "avg range size");
+  for (const Disc& d : discs) std::printf(" %14s", d.label);
+  std::puts("");
+
+  const std::size_t per_row = discs.size();
+  sweep.run([&](std::size_t i, const ExperimentResult& r) {
+    const std::size_t row = i / per_row;
+    if (i % per_row == 0) {
+      std::printf("%-22.0f", range_fracs[row] * 1'000'000 / 2.0);
+    }
+    std::printf(" %14.1f", r.hops_per_subscription);
+    if ((i + 1) % per_row == 0) std::puts("");
+  });
   std::puts("\n(cell = one-hop messages per subscription)");
   return 0;
 }

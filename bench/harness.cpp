@@ -135,6 +135,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   r.sends_failed = reg.counter_value("chord.send_failed");
   r.duplicates_suppressed = system.duplicates_suppressed();
 
+  r.sim_events = system.sim().events_processed();
+
   if (cfg.verify) {
     const auto report = checker.verify();
     r.verified = report.ok();

@@ -114,6 +114,10 @@ struct ExperimentResult {
   std::uint64_t retransmits = 0;         // timer-driven resends
   std::uint64_t sends_failed = 0;        // retry budget exhausted
   std::uint64_t duplicates_suppressed = 0;  // end-to-end filter drops
+
+  // Simulator events processed over the run (the sweep runner divides by
+  // wall time for the simulated-events/sec throughput trajectory).
+  std::uint64_t sim_events = 0;
 };
 
 /// Run one simulated experiment to completion (all operations issued,

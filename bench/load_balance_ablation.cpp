@@ -6,9 +6,10 @@
 // virtual nodes smooth the arcs and with them the subscription-storage
 // imbalance.
 #include <cstdio>
+#include <string>
 
 #include "cbps/workload/driver.hpp"
-#include "harness.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::bench;
@@ -18,7 +19,13 @@ namespace {
 struct Row {
   std::size_t max_per_host = 0;
   double avg_per_host = 0;
+  std::uint64_t sim_events = 0;
 };
+
+JsonFields json_fields(const Row& r) {
+  return {{"max_per_host", static_cast<double>(r.max_per_host)},
+          {"avg_per_host", r.avg_per_host}};
+}
 
 Row run(std::size_t hosts, std::size_t virtuals) {
   pubsub::SystemConfig sys_cfg;
@@ -40,23 +47,31 @@ Row run(std::size_t hosts, std::size_t virtuals) {
   driver.run_to_completion();
 
   const auto st = system.host_storage_stats();
-  return {st.max_peak, st.avg_peak};
+  return {st.max_peak, st.avg_peak, system.sim().events_processed()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Sweep<Row> sweep("load_balance_ablation");
+  if (!sweep.parse_args(argc, argv)) return 1;
+
+  const std::size_t virtuals[] = {1, 2, 4, 8};
+  for (const std::size_t v : virtuals) {
+    sweep.add("virtuals=" + std::to_string(v),
+              [v] { return run(250, v); });
+  }
+
   std::puts("=== Load-balance ablation: virtual nodes per host ===");
   std::puts("250 hosts, 5000 subscriptions, Mapping 3, no selective attrs;");
   std::puts("cell = subscriptions stored per physical host\n");
   std::printf("%18s %12s %12s %10s\n", "virtual nodes/host", "max/host",
               "avg/host", "max/avg");
-  for (const std::size_t v : {1u, 2u, 4u, 8u}) {
-    const Row r = run(250, v);
-    std::printf("%18zu %12zu %12.1f %10.2f\n", v, r.max_per_host,
+  sweep.run([&](std::size_t i, const Row& r) {
+    std::printf("%18zu %12zu %12.1f %10.2f\n", virtuals[i], r.max_per_host,
                 r.avg_per_host,
                 static_cast<double>(r.max_per_host) / r.avg_per_host);
-  }
+  });
   std::puts("\nmore virtual nodes -> the max-to-average imbalance shrinks");
   std::puts("toward 1. The trade-off: more (virtual) nodes split each");
   std::puts("subscription's key range into more pieces, raising the");

@@ -8,11 +8,13 @@
 // retransmission overhead paid for the recovery — swept over loss rate
 // with and without concurrent membership churn.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "cbps/pubsub/delivery_checker.hpp"
 #include "cbps/workload/churn.hpp"
 #include "cbps/workload/driver.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 
@@ -28,7 +30,20 @@ struct Row {
   std::uint64_t sends_failed = 0;
   std::uint64_t total_hops = 0;
   double delivery_rate = 1.0;
+  std::uint64_t sim_events = 0;
 };
+
+bench::JsonFields json_fields(const Row& r) {
+  return {{"expected", static_cast<double>(r.expected)},
+          {"missing", static_cast<double>(r.missing)},
+          {"duplicates", static_cast<double>(r.duplicates)},
+          {"dups_suppressed", static_cast<double>(r.dups_suppressed)},
+          {"lost", static_cast<double>(r.lost)},
+          {"retransmits", static_cast<double>(r.retransmits)},
+          {"sends_failed", static_cast<double>(r.sends_failed)},
+          {"total_hops", static_cast<double>(r.total_hops)},
+          {"delivery_rate", r.delivery_rate}};
+}
 
 enum class Churn { kNone, kGraceful, kCrashy };
 
@@ -93,6 +108,7 @@ Row run(double loss_rate, Churn churn_kind) {
           ? 1.0
           : static_cast<double>(report.delivered) /
                 static_cast<double>(report.expected);
+  row.sim_events = system.sim().events_processed();
   return row;
 }
 
@@ -107,34 +123,44 @@ const char* churn_label(Churn c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Sweep<Row> sweep("loss_resilience");
+  if (!sweep.parse_args(argc, argv)) return 1;
+
+  const double losses[] = {0.0, 0.01, 0.02, 0.05};
+  const Churn churns[] = {Churn::kNone, Churn::kGraceful, Churn::kCrashy};
+  for (const double loss : losses) {
+    for (const Churn churn : churns) {
+      sweep.add("loss=" + std::to_string(loss) +
+                    "/churn=" + churn_label(churn),
+                [loss, churn] { return run(loss, churn); });
+    }
+  }
+
   std::puts("=== Loss resilience: ack/retry under a lossy wire ===");
   std::puts("64 nodes, 60 subscriptions + 300 publications (~1500s);");
   std::puts("Mapping 3, m-cast; churn = Poisson(45s) joins+removals\n");
   std::printf("%-7s %-9s %10s %8s %6s %9s %7s %8s %7s %10s\n", "loss",
               "churn", "expected", "missing", "dups", "dupsupp", "lost",
               "retrans", "failed", "delivered");
-  for (const double loss : {0.0, 0.01, 0.02, 0.05}) {
-    for (const Churn churn :
-         {Churn::kNone, Churn::kGraceful, Churn::kCrashy}) {
-      const Row r = run(loss, churn);
-      // Retransmit overhead: resends as a share of all transmissions.
-      const double overhead =
-          r.total_hops == 0 ? 0.0
-                            : 100.0 * static_cast<double>(r.retransmits) /
-                                  static_cast<double>(r.total_hops);
-      std::printf(
-          "%-7.2f %-9s %10llu %8llu %6llu %9llu %7llu %7.2f%% %7llu %9.1f%%\n",
-          loss, churn_label(churn),
-          static_cast<unsigned long long>(r.expected),
-          static_cast<unsigned long long>(r.missing),
-          static_cast<unsigned long long>(r.duplicates),
-          static_cast<unsigned long long>(r.dups_suppressed),
-          static_cast<unsigned long long>(r.lost), overhead,
-          static_cast<unsigned long long>(r.sends_failed),
-          100.0 * r.delivery_rate);
-    }
-  }
+  const std::size_t per_group = std::size(churns);
+  sweep.run([&](std::size_t i, const Row& r) {
+    // Retransmit overhead: resends as a share of all transmissions.
+    const double overhead =
+        r.total_hops == 0 ? 0.0
+                          : 100.0 * static_cast<double>(r.retransmits) /
+                                static_cast<double>(r.total_hops);
+    std::printf(
+        "%-7.2f %-9s %10llu %8llu %6llu %9llu %7llu %7.2f%% %7llu %9.1f%%\n",
+        losses[i / per_group], churn_label(churns[i % per_group]),
+        static_cast<unsigned long long>(r.expected),
+        static_cast<unsigned long long>(r.missing),
+        static_cast<unsigned long long>(r.duplicates),
+        static_cast<unsigned long long>(r.dups_suppressed),
+        static_cast<unsigned long long>(r.lost), overhead,
+        static_cast<unsigned long long>(r.sends_failed),
+        100.0 * r.delivery_rate);
+  });
   std::puts("\nretrans = timer-driven resends as % of all transmissions");
   std::puts("(the bandwidth price of reliability); dupsupp = duplicates");
   std::puts("absorbed by the end-to-end (event, subscription) filter so");

@@ -9,10 +9,12 @@
 //   chain:       O(log n + N) messages, O(log n + N) dilation
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cbps/chord/network.hpp"
 #include "cbps/sim/simulator.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::chord;
@@ -49,7 +51,14 @@ struct Outcome {
   std::uint64_t hops = 0;
   std::uint64_t node_deliveries = 0;
   double dilation_hops = 0;  // completion time / per-hop delay
+  std::uint64_t sim_events = 0;
 };
+
+bench::JsonFields json_fields(const Outcome& o) {
+  return {{"hops", static_cast<double>(o.hops)},
+          {"nodes_hit", static_cast<double>(o.node_deliveries)},
+          {"dilation_hops", o.dilation_hops}};
+}
 
 enum class Mode { kMcast, kAggressiveUnicast, kChain };
 
@@ -102,6 +111,7 @@ Outcome run(Mode mode, std::uint64_t range_keys, std::size_t n = 500) {
   }
   out.dilation_hops = static_cast<double>(last - start) /
                       static_cast<double>(sim::ms(50));
+  out.sim_events = sim.events_processed();
   return out;
 }
 
@@ -119,23 +129,36 @@ const char* mode_label(Mode m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Sweep<Outcome> sweep("mcast_ablation");
+  if (!sweep.parse_args(argc, argv)) return 1;
+
+  const std::uint64_t ranges[] = {64, 256, 1024, 4096};
+  const Mode modes[] = {Mode::kMcast, Mode::kAggressiveUnicast,
+                        Mode::kChain};
+  for (const std::uint64_t range : ranges) {
+    for (const Mode mode : modes) {
+      sweep.add(std::string(mode_label(mode)) + "/range=" +
+                    std::to_string(range),
+                [mode, range] { return run(mode, range); });
+    }
+  }
+
   std::puts("=== m-cast ablation: one-to-many to a key range, n=500 ===");
   std::puts("(cache disabled; dilation = completion time in hop units)\n");
   std::printf("%10s %-12s %10s %12s %10s\n", "range keys", "primitive",
               "hops", "nodes hit", "dilation");
-  for (const std::uint64_t range : {64u, 256u, 1024u, 4096u}) {
-    for (const Mode mode :
-         {Mode::kMcast, Mode::kAggressiveUnicast, Mode::kChain}) {
-      const Outcome o = run(mode, range);
-      std::printf("%10llu %-12s %10llu %12llu %10.0f\n",
-                  static_cast<unsigned long long>(range), mode_label(mode),
-                  static_cast<unsigned long long>(o.hops),
-                  static_cast<unsigned long long>(o.node_deliveries),
-                  o.dilation_hops);
-    }
-    std::puts("");
-  }
+  const std::size_t per_group = std::size(modes);
+  sweep.run([&](std::size_t i, const Outcome& o) {
+    const std::uint64_t range = ranges[i / per_group];
+    const Mode mode = modes[i % per_group];
+    std::printf("%10llu %-12s %10llu %12llu %10.0f\n",
+                static_cast<unsigned long long>(range), mode_label(mode),
+                static_cast<unsigned long long>(o.hops),
+                static_cast<unsigned long long>(o.node_deliveries),
+                o.dilation_hops);
+    if ((i + 1) % per_group == 0) std::puts("");
+  });
   std::puts("m-cast matches the aggressive baseline's O(log n) dilation at");
   std::puts("the chain baseline's O(log n + N) message cost — the best of");
   std::puts("both, as §4.3.1 argues.");

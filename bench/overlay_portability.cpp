@@ -3,6 +3,7 @@
 // Pastry-style prefix-routing substrate. Compares per-request hop costs.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cbps/chord/network.hpp"
@@ -10,6 +11,7 @@
 #include "cbps/pubsub/node.hpp"
 #include "cbps/sim/simulator.hpp"
 #include "cbps/workload/generator.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 
@@ -20,7 +22,15 @@ struct Result {
   double hops_per_pub = 0;
   double hops_per_notif = 0;
   std::uint64_t notifications = 0;
+  std::uint64_t sim_events = 0;
 };
+
+bench::JsonFields json_fields(const Result& r) {
+  return {{"hops_per_sub", r.hops_per_sub},
+          {"hops_per_pub", r.hops_per_pub},
+          {"hops_per_notif", r.hops_per_notif},
+          {"notifications", static_cast<double>(r.notifications)}};
+}
 
 // Drive the identical workload over any pair of (nodes, traffic stats).
 template <typename MakeNode>
@@ -87,6 +97,7 @@ Result drive(sim::Simulator& sim, const std::vector<Key>& ids,
         static_cast<double>(traffic.hops(overlay::MessageClass::kNotify)) /
         static_cast<double>(delivered);
   }
+  r.sim_events = sim.events_processed();
   return r;
 }
 
@@ -118,13 +129,10 @@ Result run_pastry(pubsub::MappingKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using Transport = pubsub::PubSubConfig::Transport;
-  std::puts("=== Overlay portability: identical pub/sub layer + workload ===");
-  std::puts("n=200, 400 subs + 400 pubs, paper workload; Chord has the");
-  std::puts("location cache, Pastry is pure prefix routing\n");
-  std::printf("%-20s %-9s %-8s %10s %10s %12s %8s\n", "mapping", "transport",
-              "overlay", "hops/sub", "hops/pub", "hops/notif", "notifs");
+  bench::Sweep<Result> sweep("overlay_portability");
+  if (!sweep.parse_args(argc, argv)) return 1;
 
   struct Case {
     pubsub::MappingKind kind;
@@ -139,20 +147,34 @@ int main() {
       {pubsub::MappingKind::kKeySpaceSplit, Transport::kUnicast,
        "M2 key-space-split"},
   };
+  const char* overlays[] = {"chord", "pastry"};
   for (const Case& c : cases) {
     const char* tname =
         c.transport == Transport::kUnicast ? "unicast" : "m-cast";
-    const Result chord_r = run_chord(c.kind, c.transport);
-    std::printf("%-20s %-9s %-8s %10.1f %10.2f %12.2f %8llu\n", c.label,
-                tname, "chord", chord_r.hops_per_sub, chord_r.hops_per_pub,
-                chord_r.hops_per_notif,
-                static_cast<unsigned long long>(chord_r.notifications));
-    const Result pastry_r = run_pastry(c.kind, c.transport);
-    std::printf("%-20s %-9s %-8s %10.1f %10.2f %12.2f %8llu\n", c.label,
-                tname, "pastry", pastry_r.hops_per_sub,
-                pastry_r.hops_per_pub, pastry_r.hops_per_notif,
-                static_cast<unsigned long long>(pastry_r.notifications));
+    for (std::size_t o = 0; o < std::size(overlays); ++o) {
+      sweep.add(std::string(c.label) + "/" + tname + "/" + overlays[o],
+                [&c, o] {
+                  return o == 0 ? run_chord(c.kind, c.transport)
+                                : run_pastry(c.kind, c.transport);
+                });
+    }
   }
+
+  std::puts("=== Overlay portability: identical pub/sub layer + workload ===");
+  std::puts("n=200, 400 subs + 400 pubs, paper workload; Chord has the");
+  std::puts("location cache, Pastry is pure prefix routing\n");
+  std::printf("%-20s %-9s %-8s %10s %10s %12s %8s\n", "mapping", "transport",
+              "overlay", "hops/sub", "hops/pub", "hops/notif", "notifs");
+
+  sweep.run([&](std::size_t i, const Result& r) {
+    const Case& c = cases[i / std::size(overlays)];
+    const char* tname =
+        c.transport == Transport::kUnicast ? "unicast" : "m-cast";
+    std::printf("%-20s %-9s %-8s %10.1f %10.2f %12.2f %8llu\n", c.label,
+                tname, overlays[i % std::size(overlays)], r.hops_per_sub,
+                r.hops_per_pub, r.hops_per_notif,
+                static_cast<unsigned long long>(r.notifications));
+  });
   std::puts("\nthe identical notification counts confirm the layer is");
   std::puts("overlay-agnostic; hop differences reflect the substrates'");
   std::puts("routing (cached Chord vs pure prefix routing).");

@@ -10,11 +10,21 @@
 
 #include "cbps/chord/network.hpp"
 #include "cbps/sim/simulator.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::chord;
 
 namespace {
+
+struct Row {
+  double avg_hops = 0;
+  std::uint64_t sim_events = 0;
+};
+
+bench::JsonFields json_fields(const Row& r) {
+  return {{"avg_hops", r.avg_hops}};
+}
 
 struct ProbePayload final : overlay::Payload {
   overlay::MessageClass message_class() const override {
@@ -32,8 +42,8 @@ struct NullApp final : overlay::OverlayApp {
   void import_state(const overlay::PayloadPtr&) override {}
 };
 
-double run(std::size_t cache_size, bool feedback, std::size_t n,
-           std::size_t messages, std::size_t warmup = 0) {
+Row run(std::size_t cache_size, bool feedback, std::size_t n,
+        std::size_t messages, std::size_t warmup = 0) {
   sim::Simulator sim;
   ChordConfig cfg;
   cfg.location_cache_size = cache_size;
@@ -65,26 +75,34 @@ double run(std::size_t cache_size, bool feedback, std::size_t n,
     sim.run_until(sim.now() + sim::ms(500));
   }
   sim.run();
-  return net.traffic().route_hops(overlay::MessageClass::kPublish).mean();
+  return Row{
+      net.traffic().route_hops(overlay::MessageClass::kPublish).mean(),
+      sim.events_processed()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Sweep<Row> sweep("route_cache_ablation");
+  if (!sweep.parse_args(argc, argv)) return 1;
+
+  sweep.add("no cache", [] { return run(0, false, 500, 5000); });
+  sweep.add("passive cache (128 entries)",
+            [] { return run(128, false, 500, 5000); });
+  sweep.add("passive + owner feedback",
+            [] { return run(128, true, 500, 5000); });
+  sweep.add("large cache (512) + feedback",
+            [] { return run(512, true, 500, 5000); });
+  sweep.add("warmed 512-cache (100k warm-up)",
+            [] { return run(512, true, 500, 20000, 100000); });
+
   std::puts("=== Route-cache ablation: avg hops per unicast, n=500 ===");
   std::puts("5000 random routes from random sources (paper §5.1: ~2.5 hops");
   std::puts("at n=500, better than log2(500) = 9, via finger caching)\n");
   std::printf("%-34s %10s\n", "configuration", "avg hops");
-  std::printf("%-34s %10.2f\n", "no cache",
-              run(0, false, 500, 5000));
-  std::printf("%-34s %10.2f\n", "passive cache (128 entries)",
-              run(128, false, 500, 5000));
-  std::printf("%-34s %10.2f\n", "passive + owner feedback",
-              run(128, true, 500, 5000));
-  std::printf("%-34s %10.2f\n", "large cache (512) + feedback",
-              run(512, true, 500, 5000));
-  std::printf("%-34s %10.2f\n", "warmed 512-cache (100k warm-up)",
-              run(512, true, 500, 20000, 100000));
+  sweep.run([&](std::size_t i, const Row& r) {
+    std::printf("%-34s %10.2f\n", sweep.label(i).c_str(), r.avg_hops);
+  });
   std::puts("\n(the paper's ~2.5 is the steady state of a long experiment,");
   std::puts("where every node has learned most owners)");
   return 0;

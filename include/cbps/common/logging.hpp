@@ -2,10 +2,14 @@
 //
 // Simulation runs are chatty at debug level and silent by default; the
 // logger is a global singleton so examples can flip verbosity with one
-// call. Not thread-safe by design — the simulator is single-threaded.
+// call. It is the one piece of state shared between concurrently-running
+// simulations (the sweep runner executes one per worker thread), so the
+// level is atomic and lines are written whole under a mutex.
 #pragma once
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string_view>
 
@@ -20,15 +24,18 @@ class Logger {
     return logger;
   }
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   void write(LogLevel level, std::string_view msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_ = LogLevel::kWarn;
+  std::mutex write_mu_;
 };
 
 namespace detail {

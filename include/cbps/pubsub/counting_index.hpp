@@ -40,9 +40,19 @@ class CountingIndex {
   std::size_t size() const { return subs_.size(); }
 
  private:
+  // Entries refer to subscriptions by a dense slot index so match() can
+  // count into flat arrays instead of a per-event hash map.
   struct Entry {
-    SubscriptionId id;
+    std::uint32_t dense;
     ClosedInterval range;
+  };
+  struct DenseInfo {
+    SubscriptionId id = 0;
+    std::uint32_t constraint_count = 0;
+  };
+  struct SubInfo {
+    SubscriptionPtr sub;
+    std::uint32_t dense;
   };
 
   std::size_t bucket_of(std::size_t attr, Value v) const;
@@ -53,13 +63,15 @@ class CountingIndex {
   std::vector<std::vector<std::vector<Entry>>> buckets_;
   // Subscriptions with no constraints match every event.
   std::vector<SubscriptionId> match_all_;
-  // id -> number of constraints (for the counting threshold) + the
-  // subscription itself (for removal).
-  struct SubInfo {
-    SubscriptionPtr sub;
-    std::uint32_t constraint_count;
-  };
   std::unordered_map<SubscriptionId, SubInfo> subs_;
+  std::vector<DenseInfo> dense_;        // slot -> threshold + id
+  std::vector<std::uint32_t> free_dense_;
+  // Epoch-stamped scratch: bumping epoch_ invalidates every count, so a
+  // match never clears (or allocates) the buffers it counts into.
+  mutable std::vector<std::uint32_t> scratch_count_;
+  mutable std::vector<std::uint64_t> scratch_epoch_;
+  mutable std::vector<std::uint32_t> scratch_touched_;
+  mutable std::uint64_t epoch_ = 0;
 };
 
 }  // namespace cbps::pubsub

@@ -3,22 +3,31 @@
 // Events are (time, callback) pairs processed in nondecreasing time order;
 // ties break by schedule order (a strict total order), which together with
 // the seeded Rng makes every run bit-reproducible.
+//
+// The schedule/fire/cancel cycle is allocation-free in steady state:
+// callbacks live in generation-stamped slots (a flat vector recycled
+// through an intrusive free list, small captures stored inline via
+// InlineFunction), and the time-ordered heap is a plain vector of
+// (time, seq, id) triples. Cancellation just bumps the slot's
+// generation; the stale heap entry is skipped when popped, and the heap
+// is compacted whenever stale entries outnumber live ones so
+// timer-heavy workloads (ack/retry backoff) cannot grow it unboundedly.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "cbps/common/assert.hpp"
+#include "cbps/common/inline_function.hpp"
 #include "cbps/sim/time.hpp"
 
 namespace cbps::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = common::InlineFunction<void(), 48>;
   using EventId = std::uint64_t;
   using TimerId = std::uint64_t;
 
@@ -62,25 +71,65 @@ class Simulator {
   std::uint64_t run_until(SimTime t);
 
   /// Pending (non-cancelled) event count, periodic timers included.
-  std::size_t pending_events() const { return pending_.size(); }
+  std::size_t pending_events() const { return live_; }
 
   std::uint64_t events_processed() const { return processed_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  // EventId layout: generation in the high 32 bits, slot index + 1 in the
+  // low 32 (so generation 0 / slot 0 is still nonzero and kInvalidEvent
+  // never collides). A slot's generation bumps on every release, so a
+  // handle to a fired/cancelled event — or to a recycled slot — goes
+  // stale. (A single slot would need 2^32 reuses to alias.)
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool armed = false;
+  };
+
   struct HeapEntry {
     SimTime time;
+    std::uint64_t seq;  // schedule order, the deterministic tie-break
     EventId id;
-    // Min-heap ordering: earliest time first, then earliest id.
+    // Min-heap ordering: earliest time first, then schedule order.
     friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
-      return a.time != b.time ? a.time > b.time : a.id > b.id;
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
   struct TimerState {
     SimTime period;
-    Callback cb;
+    // Shared so a fire can keep the body alive while the callback itself
+    // cancels the timer (which erases this state).
+    std::shared_ptr<Callback> cb;
     EventId next_event = kInvalidEvent;
   };
+
+  bool is_live(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].armed &&
+           slots_[slot].gen == gen_of(id);
+  }
+
+  /// Free the slot behind `id` (bumps generation, recycles storage).
+  void release(std::uint32_t slot);
+
+  /// Rebuild the heap without stale entries once they dominate.
+  void maybe_compact();
 
   /// Pop and run the earliest event. Precondition: queue non-empty after
   /// discarding cancelled entries. Returns false if nothing runnable.
@@ -90,12 +139,13 @@ class Simulator {
   void fire_timer(TimerId id);
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   TimerId next_timer_id_ = 1;
   std::uint64_t processed_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap_;
-  std::unordered_map<EventId, Callback> pending_;
+  std::vector<HeapEntry> heap_;  // min-heap via std::push_heap/pop_heap
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;  // armed slots == non-stale heap entries
   std::unordered_map<TimerId, TimerState> timers_;
 };
 

@@ -24,6 +24,7 @@ const char* level_name(LogLevel level) {
 
 void Logger::write(LogLevel level, std::string_view msg) {
   std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  const std::lock_guard<std::mutex> lock(write_mu_);
   os << '[' << level_name(level) << "] " << msg << '\n';
 }
 

@@ -25,10 +25,19 @@ std::size_t CountingIndex::bucket_of(std::size_t attr, Value v) const {
 bool CountingIndex::insert(const SubscriptionPtr& sub) {
   CBPS_ASSERT(sub != nullptr);
   CBPS_ASSERT_MSG(sub->valid_for(schema_), "subscription/schema mismatch");
-  const auto [it, inserted] = subs_.emplace(
-      sub->id,
-      SubInfo{sub, static_cast<std::uint32_t>(sub->constraints.size())});
-  if (!inserted) return false;
+  if (subs_.contains(sub->id)) return false;
+
+  std::uint32_t dense;
+  if (!free_dense_.empty()) {
+    dense = free_dense_.back();
+    free_dense_.pop_back();
+  } else {
+    dense = static_cast<std::uint32_t>(dense_.size());
+    dense_.emplace_back();
+  }
+  dense_[dense] = DenseInfo{
+      sub->id, static_cast<std::uint32_t>(sub->constraints.size())};
+  subs_.emplace(sub->id, SubInfo{sub, dense});
 
   if (sub->constraints.empty()) {
     match_all_.push_back(sub->id);
@@ -40,7 +49,7 @@ bool CountingIndex::insert(const SubscriptionPtr& sub) {
     const std::size_t first = bucket_of(c.attribute, clamped.lo);
     const std::size_t last = bucket_of(c.attribute, clamped.hi);
     for (std::size_t b = first; b <= last; ++b) {
-      buckets_[c.attribute][b].push_back(Entry{sub->id, c.range});
+      buckets_[c.attribute][b].push_back(Entry{dense, c.range});
     }
   }
   return true;
@@ -50,7 +59,10 @@ bool CountingIndex::remove(SubscriptionId id) {
   const auto it = subs_.find(id);
   if (it == subs_.end()) return false;
   const SubscriptionPtr sub = it->second.sub;
+  const std::uint32_t dense = it->second.dense;
   subs_.erase(it);
+  dense_[dense] = DenseInfo{};
+  free_dense_.push_back(dense);
 
   if (sub->constraints.empty()) {
     std::erase(match_all_, id);
@@ -63,7 +75,7 @@ bool CountingIndex::remove(SubscriptionId id) {
     const std::size_t last = bucket_of(c.attribute, clamped.hi);
     for (std::size_t b = first; b <= last; ++b) {
       std::erase_if(buckets_[c.attribute][b],
-                    [id](const Entry& e) { return e.id == id; });
+                    [dense](const Entry& e) { return e.dense == dense; });
     }
   }
   return true;
@@ -71,20 +83,34 @@ bool CountingIndex::remove(SubscriptionId id) {
 
 std::vector<SubscriptionId> CountingIndex::match(const Event& e) const {
   CBPS_ASSERT(e.values.size() == schema_.dimensions());
-  std::unordered_map<SubscriptionId, std::uint32_t> counts;
+  ++epoch_;
+  if (scratch_count_.size() < dense_.size()) {
+    scratch_count_.resize(dense_.size(), 0);
+    scratch_epoch_.resize(dense_.size(), 0);
+  }
+  scratch_touched_.clear();
   for (std::size_t attr = 0; attr < schema_.dimensions(); ++attr) {
     const Value v = e.values[attr];
     if (!schema_.domain(attr).contains(v)) continue;
     const auto& bucket = buckets_[attr][bucket_of(attr, v)];
     for (const Entry& entry : bucket) {
-      if (entry.range.contains(v)) ++counts[entry.id];
+      if (!entry.range.contains(v)) continue;
+      if (scratch_epoch_[entry.dense] != epoch_) {
+        scratch_epoch_[entry.dense] = epoch_;
+        scratch_count_[entry.dense] = 1;
+        scratch_touched_.push_back(entry.dense);
+      } else {
+        ++scratch_count_[entry.dense];
+      }
     }
   }
-  std::vector<SubscriptionId> out(match_all_);
-  for (const auto& [id, satisfied] : counts) {
-    const auto it = subs_.find(id);
-    CBPS_ASSERT(it != subs_.end());
-    if (satisfied == it->second.constraint_count) out.push_back(id);
+  std::vector<SubscriptionId> out;
+  out.reserve(match_all_.size() + scratch_touched_.size());
+  out.insert(out.end(), match_all_.begin(), match_all_.end());
+  for (const std::uint32_t dense : scratch_touched_) {
+    if (scratch_count_[dense] == dense_[dense].constraint_count) {
+      out.push_back(dense_[dense].id);
+    }
   }
   return out;
 }

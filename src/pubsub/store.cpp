@@ -84,7 +84,9 @@ std::vector<const SubscriptionStore::Record*> SubscriptionStore::match(
     const Event& e, sim::SimTime now) const {
   std::vector<const Record*> out;
   if (index_) {
-    for (SubscriptionId id : index_->match(e)) {
+    const std::vector<SubscriptionId> ids = index_->match(e);
+    out.reserve(ids.size());
+    for (SubscriptionId id : ids) {
       const auto it = records_.find(id);
       CBPS_ASSERT(it != records_.end());
       if (it->second.expires_at <= now) continue;
@@ -92,6 +94,7 @@ std::vector<const SubscriptionStore::Record*> SubscriptionStore::match(
     }
     return out;
   }
+  out.reserve(records_.size());
   for (const auto& [_, rec] : records_) {
     if (rec.expires_at <= now) continue;
     if (rec.sub->matches(e)) out.push_back(&rec);

@@ -1,21 +1,67 @@
 #include "cbps/sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace cbps::sim {
 
+namespace {
+
+struct HeapGreater {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a > b;
+  }
+};
+
+}  // namespace
+
 Simulator::EventId Simulator::schedule_at(SimTime t, Callback cb) {
   CBPS_ASSERT_MSG(t >= now_, "scheduling into the past");
-  CBPS_ASSERT(cb != nullptr);
-  const EventId id = next_id_++;
-  heap_.push(HeapEntry{t, id});
-  pending_.emplace(id, std::move(cb));
+  CBPS_ASSERT(static_cast<bool>(cb));
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.armed = true;
+  const EventId id = make_id(s.gen, slot);
+  heap_.push_back(HeapEntry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  ++live_;
   return id;
 }
 
+void Simulator::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = nullptr;
+  s.armed = false;
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
 bool Simulator::cancel(EventId id) {
-  // The heap entry stays behind and is skipped lazily when popped.
-  return pending_.erase(id) > 0;
+  if (!is_live(id)) return false;
+  release(slot_of(id));
+  // The heap entry stays behind and is skipped lazily when popped —
+  // unless stale entries now dominate, in which case rebuild.
+  maybe_compact();
+  return true;
+}
+
+void Simulator::maybe_compact() {
+  const std::size_t stale = heap_.size() - live_;
+  if (stale <= live_ || heap_.size() < 64) return;
+  std::erase_if(heap_,
+                [this](const HeapEntry& e) { return !is_live(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), HeapGreater{});
 }
 
 Simulator::TimerId Simulator::add_timer(SimTime period, Callback cb) {
@@ -26,7 +72,9 @@ Simulator::TimerId Simulator::add_timer(SimTime period, SimTime first_delay,
                                         Callback cb) {
   CBPS_ASSERT_MSG(period > 0, "zero-period timer would livelock");
   const TimerId id = next_timer_id_++;
-  timers_.emplace(id, TimerState{period, std::move(cb), kInvalidEvent});
+  timers_.emplace(id, TimerState{period,
+                                 std::make_shared<Callback>(std::move(cb)),
+                                 kInvalidEvent});
   auto& st = timers_.at(id);
   st.next_event = schedule_after(first_delay, [this, id] { fire_timer(id); });
   return id;
@@ -41,11 +89,12 @@ void Simulator::arm_timer(TimerId id) {
 void Simulator::fire_timer(TimerId id) {
   auto it = timers_.find(id);
   CBPS_ASSERT(it != timers_.end());
-  // Copy the body: the callback may cancel_timer(id), which destroys the
-  // stored std::function — invoking the stored one directly would be UB.
-  Callback body = it->second.cb;
+  // Pin the body: the callback may cancel_timer(id), which erases the
+  // timer state — the shared_ptr keeps the callable alive through the
+  // invocation without copying it.
+  const std::shared_ptr<Callback> body = it->second.cb;
   arm_timer(id);
-  body();
+  (*body)();
 }
 
 bool Simulator::cancel_timer(TimerId id) {
@@ -58,17 +107,15 @@ bool Simulator::cancel_timer(TimerId id) {
 
 bool Simulator::step() {
   while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    auto it = pending_.find(top.id);
-    if (it == pending_.end()) {
-      heap_.pop();  // cancelled
-      continue;
-    }
-    heap_.pop();
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    heap_.pop_back();
+    if (!is_live(top.id)) continue;  // cancelled
     CBPS_ASSERT(top.time >= now_);
     now_ = top.time;
-    Callback cb = std::move(it->second);
-    pending_.erase(it);
+    const std::uint32_t slot = slot_of(top.id);
+    Callback cb = std::move(slots_[slot].cb);
+    release(slot);
     ++processed_;
     cb();
     return true;
@@ -85,9 +132,10 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
 std::uint64_t Simulator::run_until(SimTime t) {
   std::uint64_t n = 0;
   while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    if (!pending_.contains(top.id)) {
-      heap_.pop();
+    const HeapEntry& top = heap_.front();
+    if (!is_live(top.id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+      heap_.pop_back();
       continue;
     }
     if (top.time > t) break;

@@ -14,6 +14,7 @@
 
 #include "cbps/common/flags.hpp"
 #include "harness.hpp"
+#include "sweep.hpp"
 
 using namespace cbps;
 using namespace cbps::bench;
@@ -74,6 +75,9 @@ int main(int argc, char** argv) {
   double loss_rate = 0.0;
   std::int64_t max_retries = 5;
   double retry_base_ms = 250.0;
+  std::int64_t seeds = 1;
+  std::int64_t jobs = 0;
+  std::string json_path;
 
   FlagParser parser(
       "cbps_sim — content-based pub/sub over a simulated Chord overlay\n"
@@ -117,9 +121,24 @@ int main(int argc, char** argv) {
              &max_retries);
   parser.add("retry-base-ms", "first ack timeout in ms (doubles per retry)",
              &retry_base_ms);
+  parser.add("seeds", "sweep over this many consecutive seeds (one "
+             "independent run each, starting at --seed)", &seeds);
+  parser.add("jobs", "worker threads for --seeds sweeps (0 = all hardware "
+             "threads)", &jobs);
+  parser.add("json", "dump per-run timings+metrics to this file",
+             &json_path);
   if (!parser.parse(argc, argv, std::cout, std::cerr)) return 1;
   if (verify && !replay_trace.empty()) {
     std::fprintf(stderr, "--verify cannot be combined with --replay-trace\n");
+    return 1;
+  }
+  if (seeds < 1 || jobs < 0) {
+    std::fprintf(stderr, "bad --seeds/--jobs\n");
+    return 1;
+  }
+  if (seeds > 1 && !(save_trace.empty() && replay_trace.empty())) {
+    std::fprintf(stderr,
+                 "--seeds > 1 cannot be combined with trace save/replay\n");
     return 1;
   }
 
@@ -165,7 +184,7 @@ int main(int argc, char** argv) {
 
   std::printf("config: n=%zu ring=2^%u mapping=%s transport=%s subs=%llu "
               "pubs=%llu selective=%d p=%.2f disc=%lld buf=%d collect=%d "
-              "repl=%zu ttl=%s seed=%llu\n\n",
+              "repl=%zu ttl=%s seed=%llu%s\n\n",
               cfg.nodes, cfg.ring_bits, mapping_label(cfg.mapping).c_str(),
               transport_label(t).c_str(),
               static_cast<unsigned long long>(cfg.subscriptions),
@@ -175,9 +194,50 @@ int main(int argc, char** argv) {
               cfg.buffering ? 1 : 0, cfg.collecting ? 1 : 0,
               cfg.replication_factor,
               ttl_s > 0 ? (std::to_string(ttl_s) + "s").c_str() : "never",
-              static_cast<unsigned long long>(cfg.seed));
+              static_cast<unsigned long long>(cfg.seed),
+              seeds > 1 ? (" (+" + std::to_string(seeds - 1) +
+                           " consecutive seeds)").c_str()
+                        : "");
 
-  const ExperimentResult r = run_experiment(cfg);
+  bench::Sweep<> sweep("cbps_sim");
+  bench::SweepOptions so;
+  so.jobs = static_cast<std::size_t>(jobs);
+  so.json_path = json_path;
+  sweep.set_options(so);
+  for (std::int64_t i = 0; i < seeds; ++i) {
+    ExperimentConfig point = cfg;
+    point.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    sweep.add("seed=" + std::to_string(point.seed), point);
+  }
+
+  if (seeds > 1) {
+    // Multi-seed sweep: one compact row per run plus a verify tally.
+    std::printf("%-12s %10s %10s %12s %10s%s\n", "seed", "hops/sub",
+                "hops/pub", "hops/notif", "delivered",
+                verify ? "   verify" : "");
+    std::uint64_t failed = 0;
+    sweep.run([&](std::size_t i, const ExperimentResult& r) {
+      std::printf("%-12s %10.2f %10.2f %12.2f %10llu",
+                  sweep.label(i).c_str(), r.hops_per_subscription,
+                  r.hops_per_publication, r.hops_per_notification,
+                  static_cast<unsigned long long>(
+                      r.notifications_delivered));
+      if (verify) {
+        std::printf("   %s", r.verified ? "OK" : "FAILED");
+        if (!r.verified) ++failed;
+      }
+      std::puts("");
+    });
+    if (verify && failed > 0) {
+      std::printf("\n%llu of %lld runs FAILED verification\n",
+                  static_cast<unsigned long long>(failed),
+                  static_cast<long long>(seeds));
+      return 2;
+    }
+    return 0;
+  }
+
+  const ExperimentResult r = sweep.run().front();
 
   std::printf("network cost (one-hop messages):\n");
   std::printf("  hops per subscription        %10.2f\n",
