@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "cbps/common/assert.hpp"
 #include "cbps/pubsub/delivery_checker.hpp"
 #include "cbps/workload/churn.hpp"
 #include "cbps/workload/driver.hpp"
+#include "cbps/workload/fault_script.hpp"
 #include "sweep.hpp"
 
 using namespace cbps;
@@ -37,12 +39,18 @@ bench::JsonFields json_fields(const Row& r) {
           {"delivery_rate", r.delivery_rate}};
 }
 
-Row run(double churn_interval_s, std::size_t replication) {
+Row run(double churn_interval_s, std::size_t replication,
+        const char* fault_script) {
+  std::string error;
+  const auto script = workload::FaultScript::parse(fault_script, &error);
+  CBPS_ASSERT_MSG(script.has_value(), "bad churn fault script");
+
   pubsub::SystemConfig cfg;
   cfg.nodes = 64;
   cfg.seed = 4242;
   cfg.chord.ring = RingParams{12};
   cfg.chord.stabilize_period = sim::sec(5);
+  cfg.chord.force_reliable = script->needs_reliable_transport();
   cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
   cfg.pubsub.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
   cfg.pubsub.replication_factor = replication;
@@ -72,7 +80,18 @@ Row run(double churn_interval_s, std::size_t replication) {
         }
         return false;
       });
+  churn.set_delivery_checker(&checker);
   if (churn_interval_s > 0) churn.start();
+
+  workload::FaultScriptRunner fault_runner(
+      system, *script, cfg.seed, [&driver](Key id) {
+        for (const auto& sub : driver.active_subscriptions()) {
+          if (sub->subscriber == id) return true;
+        }
+        return false;
+      });
+  fault_runner.set_delivery_checker(&checker);
+  fault_runner.start();
 
   // Publications are Poisson(5 s) x 400 ≈ 2000 s of simulated time.
   system.run_for(sim::sec(2'600));
@@ -81,7 +100,7 @@ Row run(double churn_interval_s, std::size_t replication) {
 
   const auto report = checker.verify(/*grace=*/sim::sec(10));
   Row row;
-  row.events = churn.events();
+  row.events = churn.events() + fault_runner.crashes();
   row.expected = report.expected;
   row.missing = report.missing;
   row.duplicates = report.duplicates;
@@ -103,16 +122,25 @@ int main(int argc, char** argv) {
   struct Case {
     const char* label;
     double interval_s;
+    const char* script;  // FaultScript text ("" = Poisson churn only)
   };
-  const Case cases[] = {
-      {"none", 0}, {"120s", 120}, {"60s", 60}, {"30s", 30}, {"15s", 15}};
+  // The last case trades the Poisson process for two scripted crash
+  // bursts correlated along the ring — the regime replication is for.
+  const Case cases[] = {{"none", 0, ""},
+                        {"120s", 120, ""},
+                        {"60s", 60, ""},
+                        {"30s", 30, ""},
+                        {"15s", 15, ""},
+                        {"burst", 0,
+                         "crash_burst at=600 count=5 correlation=0.7\n"
+                         "crash_burst at=1400 count=5 correlation=0.7"}};
   const std::size_t repls[] = {0, 2};
   for (const std::size_t repl : repls) {
     for (const Case& c : cases) {
       sweep.add("churn=" + std::string(c.label) +
                     "/repl=" + std::to_string(repl),
-                [interval = c.interval_s, repl] {
-                  return run(interval, repl);
+                [interval = c.interval_s, repl, script = c.script] {
+                  return run(interval, repl, script);
                 });
     }
   }

@@ -1,9 +1,11 @@
 #include "harness.hpp"
 
 #include <fstream>
+#include <optional>
 
 #include "cbps/common/assert.hpp"
 #include "cbps/workload/driver.hpp"
+#include "cbps/workload/fault_script.hpp"
 #include "cbps/workload/trace.hpp"
 
 namespace cbps::bench {
@@ -11,6 +13,11 @@ namespace cbps::bench {
 using overlay::MessageClass;
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  std::string fs_error;
+  const auto fault_script =
+      workload::FaultScript::parse(cfg.fault_script, &fs_error);
+  CBPS_ASSERT_MSG(fault_script.has_value(), fs_error.c_str());
+
   pubsub::SystemConfig sys_cfg;
   sys_cfg.nodes = cfg.nodes;
   sys_cfg.seed = cfg.seed;
@@ -27,10 +34,23 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.chord.loss_rate = cfg.loss_rate;
   sys_cfg.chord.max_retries = cfg.max_retries;
   sys_cfg.chord.retry_base = cfg.retry_base;
+  sys_cfg.chord.force_reliable = fault_script->needs_reliable_transport();
 
   pubsub::Schema schema =
       pubsub::Schema::uniform(cfg.dimensions, cfg.attr_max);
   pubsub::PubSubSystem system(sys_cfg, schema);
+
+  pubsub::DeliveryChecker checker;
+  std::optional<workload::FaultScriptRunner> faults;
+  if (!fault_script->empty()) {
+    // Fault scenarios need live maintenance for ring repair; the
+    // fault-free figure benches keep the static ring (and its control-
+    // traffic accounting) untouched.
+    system.network().start_maintenance_all();
+    faults.emplace(system, *fault_script, cfg.seed);
+    if (cfg.verify) faults->set_delivery_checker(&checker);
+    faults->start();
+  }
 
   workload::WorkloadParams wp;
   wp.nonselective_range_frac = cfg.nonselective_frac;
@@ -53,9 +73,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   dp.max_publications = cfg.publications;
   dp.event_locality = cfg.event_locality;
 
-  pubsub::DeliveryChecker checker;
   ExperimentResult r;
   if (!cfg.trace_replay_path.empty()) {
+    CBPS_ASSERT_MSG(fault_script->empty(),
+                    "fault scripts cannot run against a trace replay");
     // Replay a recorded workload instead of generating one.
     std::ifstream in(cfg.trace_replay_path);
     CBPS_ASSERT_MSG(in.good(), "cannot open trace file");
@@ -73,7 +94,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         system, gen, dp, cfg.verify ? &checker : nullptr,
         cfg.trace_save_path.empty() ? nullptr : &trace);
     driver.start();
-    driver.run_to_completion();
+    if (fault_script->empty()) {
+      driver.run_to_completion();
+    } else {
+      // With maintenance timers armed the queue never drains: advance in
+      // time chunks until the workload completes, give retries and
+      // repairs a drain window, then stop maintenance and flush the rest.
+      while (!driver.finished()) system.run_for(sim::sec(60));
+      system.run_for(sim::sec(120));
+      system.network().stop_maintenance_all();
+      system.quiesce();
+    }
     r.subscriptions_issued = driver.subscriptions_issued();
     r.publications_issued = driver.publications_issued();
     if (!cfg.trace_save_path.empty()) {
@@ -134,11 +165,25 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   r.retransmits = reg.counter_value("chord.retransmits");
   r.sends_failed = reg.counter_value("chord.send_failed");
   r.duplicates_suppressed = system.duplicates_suppressed();
+  r.partition_cut = reg.counter_value("chord.net.partition_refused") +
+                    reg.counter_value("chord.net.partition_dropped");
+  r.fault_crashes = faults ? faults->crashes() : 0;
 
   r.sim_events = system.sim().events_processed();
 
   if (cfg.verify) {
-    const auto report = checker.verify();
+    // A fault run is judged on the publications issued after every fault
+    // cleared (plus a stabilization margin): mid-fault misses to cut-off
+    // or crashed subscribers are the scenario, not a bug. Fault-free
+    // runs keep the strict whole-run check.
+    sim::SimTime pubs_after = 0;
+    if (!fault_script->empty()) {
+      pubs_after = fault_script->all_clear_at() +
+                   8 * sys_cfg.chord.stabilize_period;
+    }
+    const auto report = fault_script->empty()
+                            ? checker.verify()
+                            : checker.verify(sim::sec(15), pubs_after);
     r.verified = report.ok();
     r.expected_deliveries = report.expected;
     r.missing = report.missing;

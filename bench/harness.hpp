@@ -51,7 +51,10 @@ struct ExperimentConfig {
   double event_locality = 0.0;  // §4.3.2 temporal locality of the stream
 
   /// Track every operation in a DeliveryChecker and verify completeness /
-  /// exactly-once at the end of the run (slower; O(subs x pubs)).
+  /// exactly-once at the end of the run (slower; O(subs x pubs)). When a
+  /// fault_script is set, the check is windowed to publications issued
+  /// after the script's last fault cleared: mid-fault misses to cut-off
+  /// subscribers are the scenario under test, not a protocol bug.
   bool verify = false;
 
   /// Matching engine at the rendezvous nodes.
@@ -66,6 +69,12 @@ struct ExperimentConfig {
   double loss_rate = 0.0;
   std::uint32_t max_retries = 5;
   sim::SimTime retry_base = sim::ms(250);
+
+  /// Scripted fault scenario (workload::FaultScript text; empty = none).
+  /// A non-empty script starts overlay maintenance, arms the reliable
+  /// transport when the script needs it (partition/loss/crash_burst),
+  /// and drives the directives against the live system.
+  std::string fault_script;
 
   /// Record the generated workload to this file (empty = off).
   std::string trace_save_path;
@@ -114,6 +123,10 @@ struct ExperimentResult {
   std::uint64_t retransmits = 0;         // timer-driven resends
   std::uint64_t sends_failed = 0;        // retry budget exhausted
   std::uint64_t duplicates_suppressed = 0;  // end-to-end filter drops
+
+  // Fault-scenario accounting (0 unless cfg.fault_script ran).
+  std::uint64_t partition_cut = 0;   // messages refused/dropped at a cut
+  std::uint64_t fault_crashes = 0;   // nodes crashed by the script
 
   // Simulator events processed over the run (the sweep runner divides by
   // wall time for the simulated-events/sec throughput trajectory).

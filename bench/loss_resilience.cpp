@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "cbps/common/assert.hpp"
 #include "cbps/pubsub/delivery_checker.hpp"
 #include "cbps/workload/churn.hpp"
 #include "cbps/workload/driver.hpp"
+#include "cbps/workload/fault_script.hpp"
 #include "sweep.hpp"
 
 using namespace cbps;
@@ -48,16 +50,31 @@ bench::JsonFields json_fields(const Row& r) {
 enum class Churn { kNone, kGraceful, kCrashy };
 
 Row run(double loss_rate, Churn churn_kind) {
+  // The loss regime is a one-directive fault script (the scripted-
+  // scenario engine's canonical path) instead of a construction knob.
+  workload::FaultScript script;
+  if (loss_rate > 0.0) {
+    std::string error;
+    const auto parsed = workload::FaultScript::parse(
+        "loss at=0 model=uniform rate=" + std::to_string(loss_rate),
+        &error);
+    CBPS_ASSERT_MSG(parsed.has_value(), "bad loss script");
+    script = *parsed;
+  }
+
   pubsub::SystemConfig cfg;
   cfg.nodes = 64;
   cfg.seed = 4242;
   cfg.chord.ring = RingParams{12};
   cfg.chord.stabilize_period = sim::sec(5);
-  cfg.chord.loss_rate = loss_rate;
+  cfg.chord.force_reliable = script.needs_reliable_transport();
   cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
   cfg.pubsub.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
   pubsub::PubSubSystem system(cfg, pubsub::Schema::uniform(3, 99'999));
   system.network().start_maintenance_all();
+
+  workload::FaultScriptRunner fault_runner(system, script, cfg.seed);
+  fault_runner.start();
 
   pubsub::DeliveryChecker checker;
   workload::WorkloadParams wp;
@@ -82,6 +99,7 @@ Row run(double loss_rate, Churn churn_kind) {
         }
         return false;
       });
+  churn.set_delivery_checker(&checker);
   if (churn_kind != Churn::kNone) churn.start();
 
   // Publications are Poisson(5 s) x 300 ≈ 1500 s of simulated time.

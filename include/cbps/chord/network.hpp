@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -56,6 +57,36 @@ class ChordNetwork {
   /// Abrupt failure: the node simply stops responding.
   void crash(Key id);
 
+  // --- fault injection ----------------------------------------------------
+  /// Split the network: nodes in different groups cannot exchange
+  /// messages (sends fail like a connection to a dead peer; in-flight
+  /// messages are dropped at the cut). Nodes absent from every group —
+  /// including nodes that join later — form an implicit remainder
+  /// group, so set_partition({minority}) cuts `minority` off from
+  /// everyone else.
+  void set_partition(const std::vector<std::vector<Key>>& groups);
+
+  /// Remove the partition. Ring re-merge is the nodes' job (remembered-
+  /// contact probing + stabilization); the wire just works again.
+  void heal_partition();
+
+  bool partitioned() const { return partitioned_; }
+
+  /// True when `a` and `b` can currently exchange messages.
+  bool reachable(Key a, Key b) const;
+
+  /// Gray failure: multiply every transmission delay touching `id` (as
+  /// sender or receiver) by `factor` (>= 1). factor == 1 clears.
+  void set_slow_factor(Key id, double factor);
+  void clear_slow_factors();
+  double slow_factor(Key id) const;
+
+  /// Swap the in-flight loss model at runtime (nullptr = lossless).
+  /// Keeps the dedicated loss RNG stream, so installing and later
+  /// removing a model never perturbs latency or topology sampling.
+  void set_loss_model(std::unique_ptr<sim::LossModel> model);
+  sim::LossModel* loss_model() { return loss_.get(); }
+
   // --- lookup / iteration ------------------------------------------------
   bool is_alive(Key id) const;
   ChordNode* node(Key id);
@@ -75,6 +106,9 @@ class ChordNetwork {
 
   /// Start periodic maintenance on every alive node.
   void start_maintenance_all();
+  /// Stop periodic maintenance on every alive node (lets a simulation
+  /// drain to quiescence after a fault scenario).
+  void stop_maintenance_all();
 
   // --- wire ---------------------------------------------------------------
   /// Deliver `msg` from `from` to `to` after one network latency sample.
@@ -111,6 +145,13 @@ class ChordNetwork {
   // Gracefully-departed (not crashed) nodes: lame ducks that may still
   // receive acks while their pending reliable sends drain.
   std::unordered_set<Key> departed_;
+
+  // Fault state. partition_group_ maps node -> group id while a
+  // partition is active (unlisted nodes are group 0); slow_factors_
+  // holds the gray-failure latency multipliers (> 1 only).
+  bool partitioned_ = false;
+  std::unordered_map<Key, int> partition_group_;
+  std::unordered_map<Key, double> slow_factors_;
 };
 
 }  // namespace cbps::chord

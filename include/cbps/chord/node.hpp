@@ -72,6 +72,12 @@ class ChordNode final : public overlay::OverlayNode {
   /// Hand state to the successor, tell neighbors, and go offline.
   void leave_gracefully();
 
+  /// Abrupt crash: stop maintenance, drop pending sends, and refuse to
+  /// run any still-scheduled callback (self-deliveries, join retries) —
+  /// a dead process executes nothing.
+  void go_offline();
+  bool offline() const { return offline_; }
+
   /// Enable/disable the periodic stabilize/fix-fingers/check-pred loop.
   void start_maintenance();
   void stop_maintenance();
@@ -83,6 +89,17 @@ class ChordNode final : public overlay::OverlayNode {
 
   /// Reliable sends awaiting acknowledgment (introspection for tests).
   std::size_t pending_send_count() const { return pending_sends_.size(); }
+
+  /// Current retransmission timeout toward `peer`: the Jacobson
+  /// SRTT + 4*RTTVAR estimate once a clean RTT sample exists, the
+  /// configured retry_base before that (introspection for tests).
+  sim::SimTime current_rto(Key peer) const;
+
+  /// Peers evicted as unreachable, kept for post-partition re-merge
+  /// probing (introspection for tests).
+  std::vector<Key> remembered_contacts() const {
+    return {remembered_.begin(), remembered_.end()};
+  }
 
   /// Entry point for messages arriving from the network.
   void receive(Envelope env);
@@ -164,6 +181,7 @@ class ChordNode final : public overlay::OverlayNode {
     overlay::MessageClass cls = overlay::MessageClass::kControl;
     std::uint32_t retries = 0;   // retransmissions performed so far
     sim::SimTime timeout = 0;    // current backoff; doubles per retry
+    sim::SimTime sent_at = 0;    // original transmission time (RTT)
     sim::Simulator::EventId timer = sim::Simulator::kInvalidEvent;
   };
   std::unordered_map<std::uint64_t, PendingSend> pending_sends_;
@@ -172,6 +190,31 @@ class ChordNode final : public overlay::OverlayNode {
   // processed sequence ids (a retransmit whose ack was lost must be
   // re-acked but not re-processed).
   std::unordered_map<Key, std::unordered_set<std::uint64_t>> seen_seqs_;
+
+  // Jacobson/Karn RTT estimator, one per peer. Samples come only from
+  // acks of never-retransmitted sends (Karn's rule); the first retry
+  // timeout toward a peer is then SRTT + 4*RTTVAR instead of the fixed
+  // retry_base.
+  struct RttState {
+    double srtt_us = 0.0;
+    double rttvar_us = 0.0;
+    bool valid = false;
+  };
+  void record_rtt_sample(Key peer, sim::SimTime rtt);
+  sim::SimTime rto_for(Key peer) const;
+  std::unordered_map<Key, RttState> rtt_;
+
+  // Peers this node evicted as unreachable. During a partition the far
+  // side of the cut accumulates here; after heal, maintenance probes
+  // each remembered contact (GetNeighborsReq) so the split rings find
+  // each other again and stabilization re-merges them. Bounded; an
+  // entry leaves when any envelope arrives from that peer.
+  static constexpr std::size_t kMaxRemembered = 16;
+  void remember_contact(Key peer);
+  void probe_remembered();
+  std::unordered_set<Key> remembered_;
+
+  bool offline_ = false;
 };
 
 }  // namespace cbps::chord

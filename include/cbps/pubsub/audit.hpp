@@ -1,0 +1,67 @@
+// Post-fault invariant auditor (the "did it actually heal?" oracle).
+//
+// After a fault scenario ends and the system quiesces, the scripted
+// benches and tests call audit_ring / audit_system to assert that the
+// self-stabilization machinery really restored the paper's invariants:
+// a consistent ring (successor/predecessor agreement, live fingers),
+// full replica coverage of stored subscriptions, and a rendezvous for
+// every live subscription. Ground truth comes from the network's
+// membership oracle, so the audit is exact, not statistical.
+//
+// The audit is read-only and meant for a quiesced (or at least
+// maintenance-converged) system; auditing mid-turbulence reports the
+// turbulence, which is occasionally also what a test wants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cbps/chord/network.hpp"
+#include "cbps/pubsub/system.hpp"
+
+namespace cbps::pubsub {
+
+struct RingAuditReport {
+  std::size_t nodes_audited = 0;
+  // Hard violations: the ring disagrees with the membership oracle.
+  std::size_t successor_mismatches = 0;    // succ != next alive id
+  std::size_t predecessor_mismatches = 0;  // pred != previous alive id
+  std::size_t dead_successor_entries = 0;  // successor-list entry not alive
+  std::size_t dead_fingers = 0;            // finger pointing at a dead node
+  // Soft: finger alive but not the true successor of its start. Routing
+  // still works (greedy forwarding tolerates stale fingers); reported
+  // for convergence tracking, never a failure.
+  std::size_t stale_fingers = 0;
+  std::vector<std::string> issues;  // first few, human-readable
+
+  bool ok() const {
+    return successor_mismatches == 0 && predecessor_mismatches == 0 &&
+           dead_successor_entries == 0 && dead_fingers == 0;
+  }
+};
+
+/// Check every alive node's routing state against the membership oracle.
+RingAuditReport audit_ring(chord::ChordNetwork& net);
+
+struct SystemAuditReport {
+  RingAuditReport ring;
+  // Subscription-placement invariants (ground truth: alive ring + the
+  // system's AK mapping). Assumes non-expiring subscriptions — an
+  // expired-but-unswept record would be flagged as a false positive.
+  std::size_t misplaced_records = 0;     // owned record outside coverage
+  std::size_t under_replicated = 0;      // owned record with short chain
+  std::size_t unstored_subscriptions = 0;  // live sub missing a rendezvous
+  std::vector<std::string> issues;
+
+  bool ok() const {
+    return ring.ok() && misplaced_records == 0 && under_replicated == 0 &&
+           unstored_subscriptions == 0;
+  }
+};
+
+/// Full audit: ring consistency plus subscription placement, replica
+/// coverage and rendezvous completeness for every alive node.
+SystemAuditReport audit_system(PubSubSystem& system);
+
+}  // namespace cbps::pubsub

@@ -26,6 +26,11 @@ class DeliveryChecker {
   void on_unsubscribe(SubscriptionId id, sim::SimTime when);
   void on_publish(EventPtr event, sim::SimTime when);
   void on_notify(Key subscriber, const Notification& n, sim::SimTime when);
+  /// The subscriber at `node` crashed: its subscriptions end at `when` —
+  /// a dead node cannot receive, so later events must not be counted as
+  /// expected deliveries (and a notification surfacing there anyway is a
+  /// ghost the overlay failed to contain).
+  void on_node_crashed(Key node, sim::SimTime when);
 
   struct Report {
     std::uint64_t expected = 0;    // (event, sub) pairs that must deliver
@@ -45,8 +50,11 @@ class DeliveryChecker {
   /// Verify the run. `grace`: publications within `grace` of a
   /// subscription's registration, expiry or unsubscription are exempt
   /// from the must-deliver requirement (but deliveries there are still
-  /// not spurious).
-  Report verify(sim::SimTime grace = sim::sec(2)) const;
+  /// not spurious). `pubs_after` restricts the audit to publications at
+  /// or after that time — how fault benches measure the post-heal
+  /// delivery ratio separately from the mid-fault dip.
+  Report verify(sim::SimTime grace = sim::sec(2),
+                sim::SimTime pubs_after = 0) const;
 
   std::size_t publication_count() const { return publishes_.size(); }
   std::size_t subscription_count() const { return subs_.size(); }

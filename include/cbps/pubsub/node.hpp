@@ -90,6 +90,20 @@ class PubSubNode final : public overlay::OverlayApp {
   /// Publish an event (id must be filled in).
   void publish(EventPtr event);
 
+  /// Crash hygiene: stop behaving like a live process. Pending batches
+  /// are dropped and the armed one-shot timers become no-ops — a
+  /// crashed rendezvous must not keep flushing notifications.
+  void halt();
+  bool halted() const { return halted_; }
+
+  /// Re-push every owned (non-replica) subscription down the current
+  /// successor chain. Run after a partition heals (or any event that
+  /// reshuffles ring ownership): the replica chains recorded before the
+  /// fault may point at nodes that are no longer this node's
+  /// successors. Returns the number of records re-replicated; no-op
+  /// when replication is off.
+  std::size_t re_replicate();
+
   // --- overlay::OverlayApp ----------------------------------------------
   void on_deliver(Key key, const overlay::PayloadPtr& payload) override;
   void on_deliver_mcast(std::span<const Key> covered,
@@ -107,12 +121,43 @@ class PubSubNode final : public overlay::OverlayApp {
   std::uint64_t duplicates_suppressed() const {
     return duplicates_suppressed_;
   }
+  /// Notifications addressed to a different node that key-routing landed
+  /// here (the addressee crashed, or the ring moved mid-route). Dropped,
+  /// never surfaced: they would be ghost deliveries under a dead
+  /// subscriber's identity.
+  std::uint64_t misdirected_notifies() const {
+    return misdirected_notifies_;
+  }
   /// Publish-to-notify latency (seconds) of notifications received here.
   const RunningStat& notification_delay() const {
     return notification_delay_;
   }
   std::uint64_t notify_batches_sent() const { return notify_batches_sent_; }
   std::uint64_t notifications_sent() const { return notifications_sent_; }
+  /// Imported records that were not ours to keep and were re-issued as
+  /// fresh subscriptions toward their current rendezvous (post-heal
+  /// ownership repair).
+  std::uint64_t reissued_imports() const { return reissued_imports_; }
+  /// A subscription this node issued: the pointer plus the expiry it was
+  /// registered with (needed to re-issue it verbatim on refresh).
+  struct OwnSub {
+    SubscriptionPtr sub;
+    sim::SimTime expires_at = sim::kSimTimeNever;
+  };
+
+  /// Subscriptions this node issued and has not withdrawn.
+  const std::unordered_map<SubscriptionId, OwnSub>& own_subscriptions()
+      const {
+    return own_subs_;
+  }
+
+  /// Soft-state refresh: re-issue every live subscription this node owns
+  /// toward its current rendezvous nodes. Recovers records whose entire
+  /// owner+replica chain crashed (the one loss replication cannot mask).
+  /// Idempotent where records survived: a refresh of an existing record
+  /// updates it in place without re-building replica chains. Returns the
+  /// number of subscriptions re-issued.
+  std::size_t refresh_subscriptions();
 
  private:
   // Rendezvous-side handlers.
@@ -155,7 +200,7 @@ class PubSubNode final : public overlay::OverlayApp {
   PubSubConfig cfg_;
 
   SubscriptionStore store_;
-  std::unordered_map<SubscriptionId, SubscriptionPtr> own_subs_;
+  std::unordered_map<SubscriptionId, OwnSub> own_subs_;
   NotifySink sink_;
 
   // Pending per-subscriber notification batches (buffering + agent role).
@@ -170,10 +215,14 @@ class PubSubNode final : public overlay::OverlayApp {
   bool sweep_scheduled_ = false;
   sim::SimTime sweep_at_ = sim::kSimTimeNever;
 
+  bool halted_ = false;
+
   std::uint64_t notifications_received_ = 0;
   std::uint64_t notify_batches_sent_ = 0;
   std::uint64_t notifications_sent_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t misdirected_notifies_ = 0;
+  std::uint64_t reissued_imports_ = 0;
   RunningStat notification_delay_;
   // (event, subscription) pairs already surfaced to the sink; only
   // populated when cfg_.duplicate_suppression is on.

@@ -51,8 +51,9 @@ class SubscriptionStore {
     return index_ ? MatchEngine::kCountingIndex : MatchEngine::kBruteForce;
   }
 
-  /// Insert or refresh. Returns true if the record is new. A non-replica
-  /// insert upgrades an existing replica record to an owned one.
+  /// Insert or refresh. Returns true if the record is new — or if a
+  /// non-replica insert upgraded an existing replica record to an owned
+  /// one (fresh ownership needs a fresh replication chain).
   bool insert(const Record& record);
 
   /// Remove by id. Returns true if present.

@@ -60,9 +60,23 @@ class PubSubSystem {
 
   /// Graceful departure / crash of node i. The node's pub/sub layer
   /// stays allocated (in-flight shared state) but it no longer counts in
-  /// storage statistics.
+  /// storage statistics. Crashing also halts the pub/sub layer: a dead
+  /// rendezvous must not keep flushing buffered notifications.
   void leave_node(std::size_t i);
   void crash_node(std::size_t i);
+
+  /// Dense index of the node with overlay key `id` (asserts on unknown).
+  std::size_t index_of(Key id) const;
+
+  /// Ask every alive node to rebuild the replica chains of its owned
+  /// subscriptions along the current ring. Run after a partition heals;
+  /// returns the number of records re-replicated.
+  std::size_t re_replicate_all();
+
+  /// Ask every alive node to re-issue its live subscriptions toward their
+  /// current rendezvous (soft-state refresh). Recovers records whose
+  /// entire owner+replica chain crashed; returns subscriptions re-issued.
+  std::size_t refresh_all_subscriptions();
 
   // --- application operations ---------------------------------------------
   /// Issue a subscription from node `node_idx`; returns the registered

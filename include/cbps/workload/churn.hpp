@@ -13,8 +13,10 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cbps/common/rng.hpp"
+#include "cbps/pubsub/delivery_checker.hpp"
 #include "cbps/pubsub/system.hpp"
 
 namespace cbps::workload {
@@ -47,10 +49,27 @@ class ChurnDriver {
   /// Stop scheduling further events.
   void stop() { stopped_ = true; }
 
+  /// Keep a delivery oracle honest across crashes: the driver reports
+  /// every crashed node so the checker stops expecting deliveries there.
+  void set_delivery_checker(pubsub::DeliveryChecker* checker) {
+    checker_ = checker;
+  }
+
   std::uint64_t joins() const { return joins_; }
   std::uint64_t leaves() const { return leaves_; }
   std::uint64_t crashes() const { return crashes_; }
   std::uint64_t events() const { return joins_ + leaves_ + crashes_; }
+
+  /// One membership event as it happened, in order. Two drivers with the
+  /// same seed against identically-seeded systems must produce
+  /// bit-identical logs (determinism regression surface).
+  struct ChurnEvent {
+    enum class Kind : std::uint8_t { kJoin, kLeave, kCrash };
+    Kind kind = Kind::kJoin;
+    Key node = 0;  // the joined node's id, or the removed victim's id
+    sim::SimTime at = 0;
+  };
+  const std::vector<ChurnEvent>& event_log() const { return log_; }
 
  private:
   void schedule_next();
@@ -62,6 +81,8 @@ class ChurnDriver {
   ChurnParams params_;
   Rng rng_;
   Protected is_protected_;
+  pubsub::DeliveryChecker* checker_ = nullptr;
+  std::vector<ChurnEvent> log_;
 
   bool stopped_ = false;
   std::uint64_t joins_ = 0;

@@ -85,7 +85,10 @@ ChordNode& ChordNetwork::join_node(const std::string& name, Key bootstrap) {
 }
 
 void ChordNetwork::leave_gracefully(Key id) {
-  CBPS_ASSERT(is_alive(id));
+  CBPS_ASSERT_MSG(is_alive(id),
+                  "leave_gracefully: node is not alive (double removal?)");
+  CBPS_ASSERT_MSG(alive_.size() > 1,
+                  "leave_gracefully: cannot remove the last alive node");
   nodes_.at(id)->leave_gracefully();
   alive_.erase(std::lower_bound(alive_.begin(), alive_.end(), id));
   // The process is still up (lame duck): it keeps retransmitting its
@@ -95,10 +98,58 @@ void ChordNetwork::leave_gracefully(Key id) {
 }
 
 void ChordNetwork::crash(Key id) {
-  CBPS_ASSERT(is_alive(id));
-  nodes_.at(id)->stop_maintenance();
-  nodes_.at(id)->cancel_pending_sends();
+  CBPS_ASSERT_MSG(is_alive(id),
+                  "crash: node is not alive (double removal?)");
+  CBPS_ASSERT_MSG(alive_.size() > 1,
+                  "crash: cannot remove the last alive node");
+  nodes_.at(id)->go_offline();
   alive_.erase(std::lower_bound(alive_.begin(), alive_.end(), id));
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+void ChordNetwork::set_partition(const std::vector<std::vector<Key>>& groups) {
+  partition_group_.clear();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (Key id : groups[g]) partition_group_[id] = static_cast<int>(g);
+  }
+  partitioned_ = true;
+}
+
+void ChordNetwork::heal_partition() {
+  partitioned_ = false;
+  partition_group_.clear();
+}
+
+bool ChordNetwork::reachable(Key a, Key b) const {
+  if (!partitioned_) return true;
+  const auto group = [this](Key id) {
+    const auto it = partition_group_.find(id);
+    return it == partition_group_.end() ? -1 : it->second;
+  };
+  return group(a) == group(b);
+}
+
+void ChordNetwork::set_slow_factor(Key id, double factor) {
+  CBPS_ASSERT_MSG(factor >= 1.0, "slow factor must be >= 1");
+  if (factor == 1.0) {
+    slow_factors_.erase(id);
+  } else {
+    slow_factors_[id] = factor;
+  }
+}
+
+void ChordNetwork::clear_slow_factors() { slow_factors_.clear(); }
+
+double ChordNetwork::slow_factor(Key id) const {
+  const auto it = slow_factors_.find(id);
+  return it == slow_factors_.end() ? 1.0 : it->second;
+}
+
+void ChordNetwork::set_loss_model(std::unique_ptr<sim::LossModel> model) {
+  loss_ = std::move(model);
 }
 
 bool ChordNetwork::is_alive(Key id) const {
@@ -128,6 +179,10 @@ Key ChordNetwork::oracle_successor(Key key) const {
 
 void ChordNetwork::start_maintenance_all() {
   for (Key id : alive_) nodes_.at(id)->start_maintenance();
+}
+
+void ChordNetwork::stop_maintenance_all() {
+  for (Key id : alive_) nodes_.at(id)->stop_maintenance();
 }
 
 namespace {
@@ -170,6 +225,13 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
         std::holds_alternative<AckMsg>(msg) && departed_.contains(to);
     if (!ack_to_lame_duck) return false;
   }
+  if (!reachable(from, to)) {
+    // Partitioned link: the connection attempt fails exactly like a
+    // dead peer, so the caller evicts the peer and the successor-list /
+    // finger repair machinery takes over inside each side of the cut.
+    registry_.counter("chord.net.partition_refused").inc();
+    return false;
+  }
   traffic_.record_hop(cls, wire_size_bytes(msg));
 
   if (loss_ != nullptr && loss_->drop(loss_rng_)) {
@@ -189,12 +251,24 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
   env->from_pred = src.predecessor().value_or(0);
   env->msg = std::move(msg);
 
-  const sim::SimTime delay = latency_->sample(rng_);
-  sim_.schedule_after(delay, [this, to, env] {
+  sim::SimTime delay = latency_->sample(rng_);
+  // Gray failure: a slow node stretches every message it touches.
+  const double slow = std::max(slow_factor(from), slow_factor(to));
+  if (slow > 1.0) {
+    delay = static_cast<sim::SimTime>(static_cast<double>(delay) * slow);
+  }
+  sim_.schedule_after(delay, [this, from, to, env] {
     // Destination died in flight — except a lame-duck ack: the departed
     // process is still up, waiting for exactly this.
     if (!is_alive(to) && !(std::holds_alternative<AckMsg>(env->msg) &&
                            departed_.contains(to))) {
+      return;
+    }
+    // A partition cut the link while the message was in flight: it is
+    // silently lost, and the sender's ack/retry layer must recover it
+    // (or fail the send and reroute).
+    if (!reachable(from, to)) {
+      registry_.counter("chord.net.partition_dropped").inc();
       return;
     }
     nodes_.at(to)->receive(std::move(*env));

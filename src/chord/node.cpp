@@ -60,7 +60,8 @@ bool ChordNode::transmit_reliable(Key to, WireMessage msg,
   PendingSend p;
   p.to = to;
   p.cls = cls;
-  p.timeout = config().retry_base;
+  p.timeout = rto_for(to);
+  p.sent_at = net_.sim().now();
   p.timer =
       net_.sim().schedule_after(p.timeout, [this, seq] { retransmit(seq); });
   p.msg = std::move(msg);  // retransmission copy; payload ptr is shared
@@ -125,13 +126,51 @@ void ChordNode::retransmit(std::uint64_t seq) {
 void ChordNode::handle_ack(std::uint64_t acked_seq) {
   auto it = pending_sends_.find(acked_seq);
   if (it == pending_sends_.end()) return;  // late ack of a retransmit
+  // Karn's rule: only never-retransmitted sends yield RTT samples — an
+  // ack after a retransmission is ambiguous about which copy it answers.
+  if (it->second.retries == 0 && config().adaptive_rto) {
+    record_rtt_sample(it->second.to, net_.sim().now() - it->second.sent_at);
+  }
   net_.sim().cancel(it->second.timer);
   pending_sends_.erase(it);
 }
 
+void ChordNode::record_rtt_sample(Key peer, sim::SimTime rtt) {
+  RttState& s = rtt_[peer];
+  const double r = static_cast<double>(rtt);
+  if (!s.valid) {
+    // RFC 6298 initialization: SRTT = R, RTTVAR = R/2.
+    s.srtt_us = r;
+    s.rttvar_us = r / 2.0;
+    s.valid = true;
+    return;
+  }
+  // Jacobson's EWMA (alpha = 1/8, beta = 1/4), variance first.
+  const double err = r - s.srtt_us;
+  s.rttvar_us += ((err < 0 ? -err : err) - s.rttvar_us) / 4.0;
+  s.srtt_us += err / 8.0;
+}
+
+sim::SimTime ChordNode::rto_for(Key peer) const {
+  if (!config().adaptive_rto) return config().retry_base;
+  const auto it = rtt_.find(peer);
+  if (it == rtt_.end() || !it->second.valid) return config().retry_base;
+  const double rto = it->second.srtt_us + 4.0 * it->second.rttvar_us;
+  return std::clamp(static_cast<sim::SimTime>(rto), config().rto_min,
+                    config().rto_max);
+}
+
+sim::SimTime ChordNode::current_rto(Key peer) const { return rto_for(peer); }
+
 void ChordNode::cancel_pending_sends() {
   for (auto& [_, p] : pending_sends_) net_.sim().cancel(p.timer);
   pending_sends_.clear();
+}
+
+void ChordNode::go_offline() {
+  offline_ = true;
+  stop_maintenance();
+  cancel_pending_sends();
 }
 
 void ChordNode::on_peer_dead(Key peer) {
@@ -139,6 +178,21 @@ void ChordNode::on_peer_dead(Key peer) {
   cache_.evict(peer);
   std::erase(succs_, peer);
   if (has_pred_ && pred_ == peer) has_pred_ = false;
+  remember_contact(peer);
+}
+
+void ChordNode::remember_contact(Key peer) {
+  if (peer == id_ || remembered_.size() >= kMaxRemembered) return;
+  remembered_.insert(peer);
+}
+
+void ChordNode::probe_remembered() {
+  // Raw transmits on purpose: a probe that fails (the contact is truly
+  // dead, or the partition still stands) must not re-trigger eviction —
+  // the contact is already evicted; we are fishing for its return.
+  for (Key peer : remembered_) {
+    net_.transmit(id_, peer, GetNeighborsReq{id_}, MessageClass::kControl);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +263,7 @@ void ChordNode::handle_route(RouteMsg msg) {
 }
 
 void ChordNode::deliver_route(const RouteMsg& msg) {
+  if (offline_) return;  // self-delivery scheduled before the crash
   const MessageClass cls = msg.payload->message_class();
   net_.traffic().record_delivery(cls);
   net_.traffic().record_route_complete(cls, msg.hops);
@@ -260,6 +315,7 @@ void ChordNode::handle_mcast(McastMsg msg) {
 
 void ChordNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
                           std::uint32_t hops, bool initiator) {
+  if (offline_) return;
   if (hops >= config().max_route_hops) {
     net_.registry().counter("chord.mcast_dropped_keys").inc(keys.size());
     return;
@@ -291,7 +347,7 @@ void ChordNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
       PayloadPtr p = payload;
       std::vector<Key> covered = part.local;
       net_.self_deliver([this, covered = std::move(covered), p] {
-        app_->on_deliver_mcast(covered, p);
+        if (!offline_) app_->on_deliver_mcast(covered, p);
       });
     } else {
       app_->on_deliver_mcast(part.local, payload);
@@ -343,6 +399,7 @@ void ChordNode::handle_chain(ChainMsg msg) {
 
 void ChordNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
                           std::uint32_t hops, bool initiator) {
+  if (offline_) return;
   std::vector<Key> covered;
   std::vector<Key> remaining;
   for (Key k : keys) {
@@ -354,7 +411,7 @@ void ChordNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
     if (initiator) {
       PayloadPtr p = payload;
       net_.self_deliver([this, covered, p] {
-        app_->on_deliver_mcast(covered, p);
+        if (!offline_) app_->on_deliver_mcast(covered, p);
       });
     } else {
       app_->on_deliver_mcast(covered, payload);
@@ -405,7 +462,9 @@ void ChordNode::send_to_successor(PayloadPtr payload) {
   // Alone in the ring: local delivery.
   if (app_ != nullptr) {
     PayloadPtr p = std::move(payload);
-    net_.self_deliver([this, p] { app_->on_deliver(id_, p); });
+    net_.self_deliver([this, p] {
+      if (!offline_) app_->on_deliver(id_, p);
+    });
   }
 }
 
@@ -417,7 +476,9 @@ void ChordNode::send_to_predecessor(PayloadPtr payload) {
   }
   if (app_ != nullptr) {
     PayloadPtr p = std::move(payload);
-    net_.self_deliver([this, p] { app_->on_deliver(id_, p); });
+    net_.self_deliver([this, p] {
+      if (!offline_) app_->on_deliver(id_, p);
+    });
   }
 }
 
@@ -506,6 +567,7 @@ void ChordNode::maintenance_tick() {
   check_predecessor();
   stabilize();
   fix_fingers();
+  probe_remembered();
 }
 
 void ChordNode::check_predecessor() {
@@ -591,9 +653,16 @@ void ChordNode::adopt_predecessor(Key candidate) {
   if (has_pred_ && app_ != nullptr &&
       ring().in_open_open(pred_, id_, candidate)) {
     // Our covered range shrank from (pred, id] to (candidate, id]; the
-    // keys in (pred, candidate] belong to the new predecessor now and
-    // their state is dropped here (the new owner pulled or received it).
-    app_->export_state(pred_, candidate, /*remove=*/true);
+    // keys in (pred, candidate] belong to the new predecessor now.
+    // Push the exported state to it: during a normal join the new owner
+    // already pulled a copy (the import dedupes), but during a
+    // post-partition ring merge this transfer is the only path that
+    // returns the orphaned range's subscriptions to their owner.
+    PayloadPtr st = app_->export_state(pred_, candidate, /*remove=*/true);
+    if (st != nullptr && candidate != id_) {
+      transmit(candidate, StateTransferMsg{std::move(st)},
+               MessageClass::kStateTransfer);
+    }
   }
   pred_ = candidate;
   has_pred_ = true;
@@ -605,6 +674,7 @@ void ChordNode::adopt_predecessor(Key candidate) {
 
 void ChordNode::begin_join(Key bootstrap) {
   CBPS_ASSERT_MSG(bootstrap != id_, "cannot bootstrap from self");
+  if (offline_) return;  // crashed while a join retry was scheduled
   joining_ = true;
   join_bootstrap_ = bootstrap;
   transmit(bootstrap, FindSuccessorReq{id_, id_, kJoinReqId, 0},
@@ -687,10 +757,32 @@ void ChordNode::set_successor_front(Key s) {
 // ---------------------------------------------------------------------------
 
 void ChordNode::receive(Envelope env) {
+  // A crashed process reads nothing off the wire (a message can already
+  // be scheduled for delivery when the crash lands).
+  if (offline_) return;
+
   // Passive learning: every envelope reveals the sender and its claimed
   // covered range. Senders with no predecessor are not ring-integrated
   // (joining nodes) and must not become routing candidates.
   if (env.from_has_pred) cache_.insert(env.from, env.from_pred);
+
+  // An evicted contact is talking to us again — the partition healed (or
+  // the eviction was spurious); stop probing for it.
+  remembered_.erase(env.from);
+
+  // Opportunistic ring repair: if an integrated sender sits between us
+  // and our current successor, the ring merged (or healed) and the
+  // sender is our better successor. Mirrors the stabilize rule, but
+  // fires on every message instead of once per maintenance period.
+  // An isolated node (every peer evicted: empty successor list, or
+  // collapsed to itself) takes any integrated sender as its way back in.
+  const bool isolated = succs_.empty() || succs_.front() == id_;
+  if (env.from_has_pred && !joining_ && env.from != id_ &&
+      (isolated ||
+       ring().in_open_open(id_, succs_.front(), env.from))) {
+    set_successor_front(env.from);
+    transmit(env.from, NotifyPredMsg{}, MessageClass::kControl);
+  }
 
   // Reliability: ack every seq-stamped message, then suppress
   // retransmits we already processed. The ack is sent unconditionally —

@@ -27,6 +27,13 @@ void DeliveryChecker::on_unsubscribe(SubscriptionId id, sim::SimTime when) {
   it->second.ends_at = std::min(it->second.ends_at, when);
 }
 
+void DeliveryChecker::on_node_crashed(Key node, sim::SimTime when) {
+  for (auto& [_, entry] : subs_) {
+    if (entry.sub->subscriber != node) continue;
+    entry.ends_at = std::min(entry.ends_at, when);
+  }
+}
+
 void DeliveryChecker::on_publish(EventPtr event, sim::SimTime when) {
   CBPS_ASSERT(event != nullptr);
   publishes_.push_back(PubEntry{std::move(event), when});
@@ -39,10 +46,12 @@ void DeliveryChecker::on_notify(Key subscriber, const Notification& n,
   info.subscriber = subscriber;
 }
 
-DeliveryChecker::Report DeliveryChecker::verify(sim::SimTime grace) const {
+DeliveryChecker::Report DeliveryChecker::verify(
+    sim::SimTime grace, sim::SimTime pubs_after) const {
   Report report;
 
   for (const PubEntry& pub : publishes_) {
+    if (pub.when < pubs_after) continue;
     for (const auto& [sub_id, entry] : subs_) {
       const bool matches = entry.sub->matches(*pub.event);
       const auto it = deliveries_.find({pub.event->id, sub_id});

@@ -45,20 +45,38 @@ void PubSubNode::subscribe(SubscriptionPtr sub, sim::SimTime ttl) {
   CBPS_ASSERT(sub != nullptr && sub->id != 0);
   CBPS_ASSERT_MSG(sub->subscriber == overlay_.id(),
                   "subscription's subscriber key must be this node");
-  own_subs_[sub->id] = sub;
-
   const std::vector<Key> keys = mapping_.subscription_keys(*sub);
   const sim::SimTime expiry =
       ttl == sim::kSimTimeNever ? sim::kSimTimeNever : sim_.now() + ttl;
+  own_subs_[sub->id] = OwnSub{sub, expiry};
   auto msg = std::make_shared<SubscribeMsg>(
       sub, expiry, mapping_.subscription_ranges(*sub));
   send_to_keys(keys, std::move(msg), cfg_.sub_transport);
 }
 
+std::size_t PubSubNode::refresh_subscriptions() {
+  if (halted_) return 0;
+  std::size_t n = 0;
+  for (const auto& [id, own] : own_subs_) {
+    if (own.expires_at != sim::kSimTimeNever &&
+        own.expires_at <= sim_.now()) {
+      continue;  // already expired; a refresh must not resurrect it
+    }
+    send_to_keys(mapping_.subscription_keys(*own.sub),
+                 std::make_shared<SubscribeMsg>(
+                     own.sub, own.expires_at,
+                     mapping_.subscription_ranges(*own.sub)),
+                 cfg_.sub_transport);
+    ++n;
+  }
+  return n;
+}
+
 void PubSubNode::unsubscribe(SubscriptionId id) {
   auto it = own_subs_.find(id);
   if (it == own_subs_.end()) return;
-  const std::vector<Key> keys = mapping_.subscription_keys(*it->second);
+  const std::vector<Key> keys =
+      mapping_.subscription_keys(*it->second.sub);
   send_to_keys(keys, std::make_shared<UnsubscribeMsg>(id),
                cfg_.sub_transport);
   own_subs_.erase(it);
@@ -87,8 +105,71 @@ void PubSubNode::on_deliver_mcast(std::span<const Key> covered,
   dispatch(covered, payload);
 }
 
+void PubSubNode::halt() {
+  halted_ = true;
+  // A crashed process loses its volatile buffers; the armed one-shot
+  // timers see halted_ and do nothing when they fire.
+  notify_buffer_.clear();
+  collect_to_succ_.clear();
+  collect_to_pred_.clear();
+}
+
+std::size_t PubSubNode::re_replicate() {
+  if (cfg_.replication_factor == 0 || halted_) return 0;
+  // Re-own first: a replica whose owner crashed leaves this node covering
+  // its range while still holding only the passive copy — with no owner,
+  // nothing would ever rebuild the chain and a second crash loses the
+  // record. Collect before upgrading (no mutation during for_each).
+  std::vector<StoredSubRecord> adopt;
+  store_.for_each([&](const SubscriptionStore::Record& rec) {
+    if (!rec.replica) return;
+    if (std::any_of(rec.ranges.begin(), rec.ranges.end(),
+                    [&](const KeyRange& r) {
+                      return coverage_intersects(r);
+                    })) {
+      adopt.push_back({rec.sub, rec.expires_at, rec.ranges, false});
+    }
+  });
+  for (const StoredSubRecord& rec : adopt) {
+    store_.insert(SubscriptionStore::Record{rec.sub, rec.expires_at,
+                                            rec.ranges, /*replica=*/false});
+  }
+  // Re-home second: an owned record none of whose ranges intersect our
+  // coverage is stranded here (accepted while our predecessor was
+  // unknown mid-repair, so our believed coverage was transiently huge).
+  // Re-issue it toward its current rendezvous and drop our copy.
+  std::vector<StoredSubRecord> stranded;
+  store_.for_each([&](const SubscriptionStore::Record& rec) {
+    if (rec.replica) return;
+    if (!std::any_of(rec.ranges.begin(), rec.ranges.end(),
+                     [&](const KeyRange& r) {
+                       return coverage_intersects(r);
+                     })) {
+      stranded.push_back({rec.sub, rec.expires_at, rec.ranges, false});
+    }
+  });
+  for (const StoredSubRecord& rec : stranded) {
+    store_.remove(rec.sub->id);
+    ++reissued_imports_;
+    send_to_keys(mapping_.subscription_keys(*rec.sub),
+                 std::make_shared<SubscribeMsg>(rec.sub, rec.expires_at,
+                                                rec.ranges),
+                 cfg_.sub_transport);
+  }
+  std::size_t n = 0;
+  store_.for_each([&](const SubscriptionStore::Record& rec) {
+    if (rec.replica) return;
+    overlay_.send_to_successor(std::make_shared<ReplicaMsg>(
+        StoredSubRecord{rec.sub, rec.expires_at, rec.ranges},
+        cfg_.replication_factor));
+    ++n;
+  });
+  return n;
+}
+
 void PubSubNode::dispatch(std::span<const Key> covered,
                           const PayloadPtr& payload) {
+  if (halted_) return;
   if (auto* pub = dynamic_cast<const PublishMsg*>(payload.get())) {
     handle_publish(*pub, covered);
   } else if (auto* sub = dynamic_cast<const SubscribeMsg*>(payload.get())) {
@@ -176,6 +257,14 @@ void PubSubNode::handle_publish(const PublishMsg& msg,
 }
 
 void PubSubNode::handle_notify(const NotifyMsg& msg) {
+  if (msg.subscriber != overlay_.id()) {
+    // Notifications are routed by the subscriber's key, so when the
+    // addressee is gone (crashed, or the ring moved mid-route) the
+    // message lands on whoever now owns that key. Surfacing it here
+    // would be a ghost delivery under the dead subscriber's identity.
+    misdirected_notifies_ += msg.batch.size();
+    return;
+  }
   for (const Notification& n : msg.batch) {
     if (cfg_.duplicate_suppression &&
         !delivered_.emplace(n.event->id, n.subscription).second) {
@@ -227,7 +316,7 @@ void PubSubNode::buffer_notification(Key subscriber, Notification n) {
     flush_scheduled_ = true;
     sim_.schedule_after(cfg_.buffer_period, [this] {
       flush_scheduled_ = false;
-      flush_notify_buffer();
+      if (!halted_) flush_notify_buffer();
     });
   }
 }
@@ -251,7 +340,7 @@ void PubSubNode::enqueue_collect(CollectItem item) {
     collect_scheduled_ = true;
     sim_.schedule_after(cfg_.buffer_period, [this] {
       collect_scheduled_ = false;
-      flush_collect_buffers();
+      if (!halted_) flush_collect_buffers();
     });
   }
 }
@@ -299,7 +388,7 @@ void PubSubNode::schedule_sweep() {
     if (sweep_at_ != at) return;  // superseded by an earlier sweep
     sweep_scheduled_ = false;
     sweep_at_ = sim::kSimTimeNever;
-    sweep_expired();
+    if (!halted_) sweep_expired();
   });
 }
 
@@ -408,10 +497,34 @@ void PubSubNode::import_state(const overlay::PayloadPtr& state) {
                   << ": unexpected state payload";
     return;
   }
+  if (halted_) return;
   bool any_expiring = false;
   for (const StoredSubRecord& rec : msg->records) {
-    store_.insert(SubscriptionStore::Record{rec.sub, rec.expires_at,
-                                            rec.ranges, rec.replica});
+    // Ownership check: after a partition heals, state transfers can land
+    // on a node the re-merged ring no longer makes responsible for any
+    // of the record's ranges. Storing it here would strand it — re-issue
+    // it as a fresh subscription toward the current rendezvous instead.
+    if (!rec.replica &&
+        !std::any_of(rec.ranges.begin(), rec.ranges.end(),
+                     [&](const KeyRange& r) {
+                       return coverage_intersects(r);
+                     })) {
+      ++reissued_imports_;
+      send_to_keys(mapping_.subscription_keys(*rec.sub),
+                   std::make_shared<SubscribeMsg>(rec.sub, rec.expires_at,
+                                                  rec.ranges),
+                   cfg_.sub_transport);
+      continue;
+    }
+    const bool fresh = store_.insert(SubscriptionStore::Record{
+        rec.sub, rec.expires_at, rec.ranges, rec.replica});
+    // A freshly learned owned record needs its replica chain built along
+    // the *current* successors (the exporter's chain predates the move).
+    if (fresh && !rec.replica && cfg_.replication_factor > 0) {
+      overlay_.send_to_successor(std::make_shared<ReplicaMsg>(
+          StoredSubRecord{rec.sub, rec.expires_at, rec.ranges},
+          cfg_.replication_factor));
+    }
     any_expiring |= rec.expires_at != sim::kSimTimeNever;
   }
   if (any_expiring) schedule_sweep();

@@ -51,6 +51,9 @@ bool SubscriptionStore::insert(const Record& record) {
     existing.replica = false;
     ++owned_;
     note_owned_change();
+    // Fresh *ownership*: the node held only a passive copy until now, so
+    // the caller must still build the replication chain for it.
+    return true;
   }
   return false;
 }

@@ -9,9 +9,13 @@
 namespace cbps::pubsub {
 
 PubSubSystem::PubSubSystem(SystemConfig cfg, Schema schema) : cfg_(cfg) {
-  // A lossy wire can deliver an application message twice (retransmit
-  // re-routed around a crashed hop); arm the end-to-end safety net.
-  if (cfg_.chord.loss_rate > 0.0) cfg_.pubsub.duplicate_suppression = true;
+  // A reliable (ack/retry) wire can deliver an application message twice
+  // (retransmit re-routed around a crashed hop); arm the end-to-end
+  // safety net whenever that layer is on — configured loss or the
+  // fault-scenario engine's force_reliable.
+  if (cfg_.chord.reliable_transport()) {
+    cfg_.pubsub.duplicate_suppression = true;
+  }
   mapping_ = make_mapping(cfg.mapping, std::move(schema), cfg.chord.ring,
                           cfg.mapping_options);
   network_ = std::make_unique<chord::ChordNetwork>(
@@ -115,7 +119,35 @@ void PubSubSystem::leave_node(std::size_t i) {
 }
 
 void PubSubSystem::crash_node(std::size_t i) {
+  // Order matters: halt the application layer first so nothing it does
+  // during the chord-level teardown (or from an already-armed timer)
+  // escapes the crash.
+  pubsub_node(i).halt();
   network_->crash(node_id(i));
+}
+
+std::size_t PubSubSystem::index_of(Key id) const {
+  const auto it = std::lower_bound(node_ids_.begin(), node_ids_.end(), id);
+  CBPS_ASSERT_MSG(it != node_ids_.end() && *it == id, "unknown node id");
+  return static_cast<std::size_t>(it - node_ids_.begin());
+}
+
+std::size_t PubSubSystem::re_replicate_all() {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!network_->is_alive(node_ids_[i])) continue;
+    n += nodes_[i]->re_replicate();
+  }
+  return n;
+}
+
+std::size_t PubSubSystem::refresh_all_subscriptions() {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!network_->is_alive(node_ids_[i])) continue;
+    n += nodes_[i]->refresh_subscriptions();
+  }
+  return n;
 }
 
 PubSubNode& PubSubSystem::pubsub_node(std::size_t i) {

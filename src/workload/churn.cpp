@@ -43,15 +43,22 @@ std::optional<std::size_t> ChurnDriver::pick_victim() {
 
 void ChurnDriver::fire() {
   if (stopped_ || events() >= params_.max_events) return;
+  const sim::SimTime now = system_.sim().now();
   if (rng_.bernoulli(params_.join_fraction)) {
-    system_.join_node("churn-join-" + std::to_string(join_seq_++));
+    const std::size_t idx =
+        system_.join_node("churn-join-" + std::to_string(join_seq_++));
+    log_.push_back({ChurnEvent::Kind::kJoin, system_.node_id(idx), now});
     ++joins_;
   } else if (const auto victim = pick_victim()) {
+    const Key victim_id = system_.node_id(*victim);
     if (rng_.bernoulli(params_.crash_fraction)) {
       system_.crash_node(*victim);
+      log_.push_back({ChurnEvent::Kind::kCrash, victim_id, now});
+      if (checker_ != nullptr) checker_->on_node_crashed(victim_id, now);
       ++crashes_;
     } else {
       system_.leave_node(*victim);
+      log_.push_back({ChurnEvent::Kind::kLeave, victim_id, now});
       ++leaves_;
     }
   }

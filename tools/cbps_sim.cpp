@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cbps/common/flags.hpp"
+#include "cbps/workload/fault_script.hpp"
 #include "harness.hpp"
 #include "sweep.hpp"
 
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
   double loss_rate = 0.0;
   std::int64_t max_retries = 5;
   double retry_base_ms = 250.0;
+  std::string fault_script;
   std::int64_t seeds = 1;
   std::int64_t jobs = 0;
   std::string json_path;
@@ -121,6 +123,12 @@ int main(int argc, char** argv) {
              &max_retries);
   parser.add("retry-base-ms", "first ack timeout in ms (doubles per retry)",
              &retry_base_ms);
+  parser.add("fault-script",
+             "scripted fault scenario, e.g. 'partition at=100 heal=400 "
+             "frac=0.4; loss at=50 until=300 model=ge p=0.02 q=0.2 "
+             "good=0.005 bad=0.7; slow at=10 nodes=3 factor=8; crash_burst "
+             "at=200 count=5 correlation=0.7'",
+             &fault_script);
   parser.add("seeds", "sweep over this many consecutive seeds (one "
              "independent run each, starting at --seed)", &seeds);
   parser.add("jobs", "worker threads for --seeds sweeps (0 = all hardware "
@@ -130,6 +138,11 @@ int main(int argc, char** argv) {
   if (!parser.parse(argc, argv, std::cout, std::cerr)) return 1;
   if (verify && !replay_trace.empty()) {
     std::fprintf(stderr, "--verify cannot be combined with --replay-trace\n");
+    return 1;
+  }
+  if (!fault_script.empty() && !replay_trace.empty()) {
+    std::fprintf(stderr,
+                 "--fault-script cannot be combined with --replay-trace\n");
     return 1;
   }
   if (seeds < 1 || jobs < 0) {
@@ -181,6 +194,14 @@ int main(int argc, char** argv) {
   cfg.loss_rate = loss_rate;
   cfg.max_retries = static_cast<std::uint32_t>(max_retries);
   cfg.retry_base = sim::from_seconds(retry_base_ms / 1000.0);
+  if (!fault_script.empty()) {
+    std::string fs_error;
+    if (!workload::FaultScript::parse(fault_script, &fs_error)) {
+      std::fprintf(stderr, "bad --fault-script: %s\n", fs_error.c_str());
+      return 1;
+    }
+    cfg.fault_script = fault_script;
+  }
 
   std::printf("config: n=%zu ring=2^%u mapping=%s transport=%s subs=%llu "
               "pubs=%llu selective=%d p=%.2f disc=%lld buf=%d collect=%d "
@@ -269,7 +290,24 @@ int main(int argc, char** argv) {
     std::printf("  duplicates suppressed        %10llu\n",
                 static_cast<unsigned long long>(r.duplicates_suppressed));
   }
+  if (!cfg.fault_script.empty()) {
+    std::printf("fault scenario:\n");
+    std::printf("  messages cut by partitions   %10llu\n",
+                static_cast<unsigned long long>(r.partition_cut));
+    std::printf("  nodes crashed by script      %10llu\n",
+                static_cast<unsigned long long>(r.fault_crashes));
+    std::printf("  retransmissions              %10llu\n",
+                static_cast<unsigned long long>(r.retransmits));
+    std::printf("  duplicates suppressed        %10llu\n",
+                static_cast<unsigned long long>(r.duplicates_suppressed));
+  }
   if (verify) {
+    if (!cfg.fault_script.empty()) {
+      // The harness windows the check to post-fault publications (see
+      // ExperimentConfig::verify); say so next to the verdict.
+      std::printf("verification window: publications after all faults "
+                  "cleared\n");
+    }
     std::printf("verification: %s (%llu expected, %llu missing, "
                 "%llu duplicate, %llu spurious)\n",
                 r.verified ? "OK" : "FAILED",
