@@ -28,6 +28,10 @@ struct Row {
   std::uint64_t missing = 0;
   std::uint64_t duplicates = 0;
   double delivery_rate = 1.0;
+  double delay_p50_s = 0;
+  double delay_p99_s = 0;
+  double hops_p50 = 0;
+  double hops_p99 = 0;
   std::uint64_t sim_events = 0;
 };
 
@@ -36,6 +40,18 @@ bench::JsonFields json_fields(const Row& r) {
           {"expected", static_cast<double>(r.expected)},
           {"missing", static_cast<double>(r.missing)},
           {"duplicates", static_cast<double>(r.duplicates)},
+          {"delivery_rate", r.delivery_rate},
+          {"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99}};
+}
+
+bench::JsonFields metrics_fields(const Row& r) {
+  return {{"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99},
           {"delivery_rate", r.delivery_rate}};
 }
 
@@ -109,6 +125,12 @@ Row run(double churn_interval_s, std::size_t replication,
           ? 1.0
           : static_cast<double>(report.delivered) /
                 static_cast<double>(report.expected);
+  const metrics::Histogram delay_hist = system.delay_histogram();
+  row.delay_p50_s = delay_hist.p50();
+  row.delay_p99_s = delay_hist.p99();
+  metrics::Registry& reg = system.network().registry();
+  row.hops_p50 = reg.histogram("chord.route_hops").p50();
+  row.hops_p99 = reg.histogram("chord.route_hops").p99();
   row.sim_events = system.sim().events_processed();
   return row;
 }

@@ -64,6 +64,10 @@ struct Row {
   double recovery_s = -1.0;  // heal -> ring audit clean (-1 = n/a)
   bool ring_ok = false;
   std::uint64_t audit_violations = 0;  // placement+replica+rendezvous
+  double delay_p50_s = 0;
+  double delay_p99_s = 0;
+  double hops_p50 = 0;
+  double hops_p99 = 0;
   std::uint64_t sim_events = 0;
 };
 
@@ -78,7 +82,20 @@ bench::JsonFields json_fields(const Row& r) {
           {"crashes", static_cast<double>(r.crashes)},
           {"recovery_s", r.recovery_s},
           {"ring_ok", r.ring_ok ? 1.0 : 0.0},
-          {"audit_violations", static_cast<double>(r.audit_violations)}};
+          {"audit_violations", static_cast<double>(r.audit_violations)},
+          {"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99}};
+}
+
+bench::JsonFields metrics_fields(const Row& r) {
+  return {{"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99},
+          {"delivery_rate", r.delivery_rate},
+          {"post_heal_rate", r.post_heal_rate}};
 }
 
 Row run(const Scenario& sc, pubsub::MappingKind mapping) {
@@ -169,6 +186,12 @@ Row run(const Scenario& sc, pubsub::MappingKind mapping) {
   row.ring_ok = audit.ring.ok();
   row.audit_violations = audit.misplaced_records + audit.under_replicated +
                          audit.unstored_subscriptions;
+  const metrics::Histogram delay_hist = system.delay_histogram();
+  row.delay_p50_s = delay_hist.p50();
+  row.delay_p99_s = delay_hist.p99();
+  metrics::Registry& reg_mut = system.network().registry();
+  row.hops_p50 = reg_mut.histogram("chord.route_hops").p50();
+  row.hops_p99 = reg_mut.histogram("chord.route_hops").p99();
   row.sim_events = system.sim().events_processed();
   return row;
 }

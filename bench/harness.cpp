@@ -1,7 +1,10 @@
 #include "harness.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <utility>
 
 #include "cbps/common/assert.hpp"
 #include "cbps/workload/driver.hpp"
@@ -11,6 +14,124 @@
 namespace cbps::bench {
 
 using overlay::MessageClass;
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// One flat JSON document: every registry counter/stat/histogram (the
+/// histograms with their percentiles), the harness' derived summary
+/// fields, and the time-series sampler's rows.
+void write_metrics_json(const std::string& path,
+                        pubsub::PubSubSystem& system,
+                        const ExperimentResult& r) {
+  const metrics::Registry& reg = system.network().registry();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : reg.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": " + std::to_string(c.value());
+  }
+  out += "\n  },\n  \"stats\": {";
+  first = true;
+  for (const auto& [name, s] : reg.stats()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(s.count()) + ", \"mean\": ";
+    append_num(out, s.mean());
+    out += ", \"min\": ";
+    append_num(out, s.min());
+    out += ", \"max\": ";
+    append_num(out, s.max());
+    out += "}";
+  }
+  // The harness-side distributions live outside the registry; fold them
+  // into the same histogram table under stable names.
+  std::map<std::string, metrics::Histogram> hists(reg.histograms().begin(),
+                                                  reg.histograms().end());
+  hists["pubsub.delay_s"] = system.delay_histogram();
+  hists["pubsub.publish_fanout"] = system.fanout_histogram();
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : hists) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(h.count()) + ", \"mean\": ";
+    append_num(out, h.mean());
+    out += ", \"p50\": ";
+    append_num(out, h.p50());
+    out += ", \"p90\": ";
+    append_num(out, h.p90());
+    out += ", \"p99\": ";
+    append_num(out, h.p99());
+    out += ", \"min\": ";
+    append_num(out, h.min());
+    out += ", \"max\": ";
+    append_num(out, h.max());
+    out += "}";
+  }
+  out += "\n  },\n  \"summary\": {";
+  const std::pair<const char*, double> summary[] = {
+      {"notifications_delivered",
+       static_cast<double>(r.notifications_delivered)},
+      {"delay_p50_s", r.delay_p50_s},  {"delay_p90_s", r.delay_p90_s},
+      {"delay_p99_s", r.delay_p99_s},  {"delay_max_s", r.delay_max_s},
+      {"hops_p50", r.hops_p50},        {"hops_p90", r.hops_p90},
+      {"hops_p99", r.hops_p99},        {"hops_max", r.hops_max},
+      {"fanout_p50", r.fanout_p50},    {"fanout_p99", r.fanout_p99},
+      {"retries_p99", r.retries_p99},
+      {"traces_started", static_cast<double>(r.traces_started)},
+      {"trace_spans", static_cast<double>(r.trace_spans)},
+  };
+  first = true;
+  for (const auto& [name, v] : summary) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += name;
+    out += "\": ";
+    append_num(out, v);
+  }
+  out += "\n  },\n  \"timeseries\": ";
+  std::ofstream os(path);
+  CBPS_ASSERT_MSG(os.good(), "cannot write --metrics-json output file");
+  os << out;
+  system.timeseries().write_json(os);
+  os << "\n}\n";
+}
+
+void write_trace_file(const std::string& path,
+                      const metrics::TraceSink& sink) {
+  std::ofstream os(path);
+  CBPS_ASSERT_MSG(os.good(), "cannot write --trace output file");
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl) {
+    sink.write_jsonl(os);
+  } else {
+    sink.write_chrome_trace(os);
+  }
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   std::string fs_error;
@@ -35,6 +156,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.chord.max_retries = cfg.max_retries;
   sys_cfg.chord.retry_base = cfg.retry_base;
   sys_cfg.chord.force_reliable = fault_script->needs_reliable_transport();
+  // An output path without an explicit rate means "trace everything".
+  sys_cfg.trace_sample_rate = cfg.trace_sample_rate > 0.0
+                                  ? cfg.trace_sample_rate
+                                  : (cfg.trace_path.empty() ? 0.0 : 1.0);
 
   pubsub::Schema schema =
       pubsub::Schema::uniform(cfg.dimensions, cfg.attr_max);
@@ -73,6 +198,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   dp.max_publications = cfg.publications;
   dp.event_locality = cfg.event_locality;
 
+  // Arm the time-series sampler when asked for (explicitly or implied by
+  // a metrics dump). Its periodic timer keeps the event queue alive, so
+  // the run paths below must stop it before draining to completion.
+  const sim::SimTime sample_period =
+      cfg.sample_period > 0
+          ? cfg.sample_period
+          : (cfg.metrics_json_path.empty() ? 0 : sim::sec(1));
+  const bool sampling = sample_period > 0 && cfg.trace_replay_path.empty();
+  if (sampling) system.start_sampler(sample_period);
+
   ExperimentResult r;
   if (!cfg.trace_replay_path.empty()) {
     CBPS_ASSERT_MSG(fault_script->empty(),
@@ -94,8 +229,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         system, gen, dp, cfg.verify ? &checker : nullptr,
         cfg.trace_save_path.empty() ? nullptr : &trace);
     driver.start();
-    if (fault_script->empty()) {
+    if (fault_script->empty() && !sampling) {
       driver.run_to_completion();
+    } else if (fault_script->empty()) {
+      // The sampler's periodic timer keeps the queue alive: advance in
+      // time chunks until the workload completes, then disarm and drain.
+      while (!driver.finished()) system.run_for(sim::sec(60));
+      system.stop_sampler();
+      system.quiesce();
     } else {
       // With maintenance timers armed the queue never drains: advance in
       // time chunks until the workload completes, give retries and
@@ -103,6 +244,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       while (!driver.finished()) system.run_for(sim::sec(60));
       system.run_for(sim::sec(120));
       system.network().stop_maintenance_all();
+      system.stop_sampler();
       system.quiesce();
     }
     r.subscriptions_issued = driver.subscriptions_issued();
@@ -160,6 +302,26 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   r.avg_notification_delay_s = delay.mean();
   r.max_notification_delay_s = delay.max();
 
+  const metrics::Histogram delay_hist = system.delay_histogram();
+  r.delay_p50_s = delay_hist.p50();
+  r.delay_p90_s = delay_hist.p90();
+  r.delay_p99_s = delay_hist.p99();
+  r.delay_max_s = delay_hist.max();
+  metrics::Registry& reg_mut = system.network().registry();
+  const metrics::Histogram& hop_hist = reg_mut.histogram("chord.route_hops");
+  r.hops_p50 = hop_hist.p50();
+  r.hops_p90 = hop_hist.p90();
+  r.hops_p99 = hop_hist.p99();
+  r.hops_max = hop_hist.max();
+  const metrics::Histogram fanout_hist = system.fanout_histogram();
+  r.fanout_p50 = fanout_hist.p50();
+  r.fanout_p99 = fanout_hist.p99();
+  r.retries_p99 = reg_mut.histogram("chord.retries_per_send").p99();
+  if (const metrics::TraceSink* sink = system.trace_sink()) {
+    r.traces_started = sink->traces_started();
+    r.trace_spans = sink->spans().size();
+  }
+
   const metrics::Registry& reg = system.network().registry();
   r.messages_lost = reg.counter_value("chord.net.lost");
   r.retransmits = reg.counter_value("chord.retransmits");
@@ -189,6 +351,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     r.missing = report.missing;
     r.duplicates = report.duplicates;
     r.spurious = report.spurious;
+  }
+
+  if (!cfg.trace_path.empty() && system.trace_sink() != nullptr) {
+    write_trace_file(cfg.trace_path, *system.trace_sink());
+  }
+  if (!cfg.metrics_json_path.empty()) {
+    write_metrics_json(cfg.metrics_json_path, system, r);
   }
   return r;
 }

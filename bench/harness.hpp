@@ -81,6 +81,22 @@ struct ExperimentConfig {
   /// Replay a previously saved workload instead of generating one
   /// (empty = generate). Overrides subscriptions/publications counts.
   std::string trace_replay_path;
+
+  // --- observability -------------------------------------------------------
+  /// Write the run's causal trace here (empty = off). A ".jsonl" suffix
+  /// selects the line-per-span format; anything else gets Chrome
+  /// trace_event JSON (loadable in chrome://tracing / Perfetto).
+  std::string trace_path;
+  /// Fraction of publish/subscribe roots that start a trace. 0 with a
+  /// trace_path set means "trace everything" (rate 1); 0 without one
+  /// leaves tracing entirely off (no sink is allocated).
+  double trace_sample_rate = 0.0;
+  /// Dump the metrics registry (counters, histograms with percentiles)
+  /// plus the time-series samples to this JSON file (empty = off).
+  std::string metrics_json_path;
+  /// Period of the time-series sampler. 0 = off, unless
+  /// metrics_json_path is set (then it defaults to 1 simulated second).
+  sim::SimTime sample_period = 0;
 };
 
 struct ExperimentResult {
@@ -110,6 +126,24 @@ struct ExperimentResult {
   double avg_route_hops = 0;  // mean end-to-end hops of unicast routes
   double avg_notification_delay_s = 0;  // publish-to-notify latency
   double max_notification_delay_s = 0;
+
+  // Distribution metrics (log-scale histograms; §5 reports averages only,
+  // the percentiles expose the tail the averages hide).
+  double delay_p50_s = 0;  // publish-to-notify latency percentiles
+  double delay_p90_s = 0;
+  double delay_p99_s = 0;
+  double delay_max_s = 0;
+  double hops_p50 = 0;     // end-to-end unicast route length
+  double hops_p90 = 0;
+  double hops_p99 = 0;
+  double hops_max = 0;
+  double fanout_p50 = 0;   // rendezvous keys per publish
+  double fanout_p99 = 0;
+  double retries_p99 = 0;  // retransmits per reliable send
+
+  // Causal tracing (0 unless tracing was on).
+  std::uint64_t traces_started = 0;
+  std::uint64_t trace_spans = 0;
 
   // Populated when ExperimentConfig::verify is set.
   bool verified = false;

@@ -7,7 +7,9 @@
 // imbalance.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "cbps/metrics/histogram.hpp"
 #include "cbps/workload/driver.hpp"
 #include "sweep.hpp"
 
@@ -19,12 +21,27 @@ namespace {
 struct Row {
   std::size_t max_per_host = 0;
   double avg_per_host = 0;
+  double load_p50 = 0;  // per-host stored-subscription distribution
+  double load_p99 = 0;
+  double hops_p50 = 0;  // subscription-routing hop distribution
+  double hops_p99 = 0;
   std::uint64_t sim_events = 0;
 };
 
 JsonFields json_fields(const Row& r) {
   return {{"max_per_host", static_cast<double>(r.max_per_host)},
-          {"avg_per_host", r.avg_per_host}};
+          {"avg_per_host", r.avg_per_host},
+          {"load_p50", r.load_p50},
+          {"load_p99", r.load_p99},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99}};
+}
+
+JsonFields metrics_fields(const Row& r) {
+  return {{"load_p50", r.load_p50},
+          {"load_p99", r.load_p99},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99}};
 }
 
 Row run(std::size_t hosts, std::size_t virtuals) {
@@ -47,7 +64,25 @@ Row run(std::size_t hosts, std::size_t virtuals) {
   driver.run_to_completion();
 
   const auto st = system.host_storage_stats();
-  return {st.max_peak, st.avg_peak, system.sim().events_processed()};
+  Row row;
+  row.max_per_host = st.max_peak;
+  row.avg_per_host = st.avg_peak;
+  std::vector<std::size_t> per_host(system.host_count(), 0);
+  for (std::size_t i = 0; i < system.node_count(); ++i) {
+    per_host[system.host_of(i)] +=
+        system.pubsub_node(i).store().peak_owned_size();
+  }
+  metrics::Histogram load_hist;
+  for (const std::size_t v : per_host) {
+    load_hist.add(static_cast<double>(v));
+  }
+  row.load_p50 = load_hist.p50();
+  row.load_p99 = load_hist.p99();
+  metrics::Registry& reg = system.network().registry();
+  row.hops_p50 = reg.histogram("chord.route_hops").p50();
+  row.hops_p99 = reg.histogram("chord.route_hops").p99();
+  row.sim_events = system.sim().events_processed();
+  return row;
 }
 
 }  // namespace

@@ -32,6 +32,11 @@ struct Row {
   std::uint64_t sends_failed = 0;
   std::uint64_t total_hops = 0;
   double delivery_rate = 1.0;
+  double delay_p50_s = 0;
+  double delay_p99_s = 0;
+  double hops_p50 = 0;
+  double hops_p99 = 0;
+  double retries_p99 = 0;
   std::uint64_t sim_events = 0;
 };
 
@@ -44,6 +49,20 @@ bench::JsonFields json_fields(const Row& r) {
           {"retransmits", static_cast<double>(r.retransmits)},
           {"sends_failed", static_cast<double>(r.sends_failed)},
           {"total_hops", static_cast<double>(r.total_hops)},
+          {"delivery_rate", r.delivery_rate},
+          {"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99},
+          {"retries_p99", r.retries_p99}};
+}
+
+bench::JsonFields metrics_fields(const Row& r) {
+  return {{"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99},
+          {"retries_p99", r.retries_p99},
           {"delivery_rate", r.delivery_rate}};
 }
 
@@ -126,6 +145,13 @@ Row run(double loss_rate, Churn churn_kind) {
           ? 1.0
           : static_cast<double>(report.delivered) /
                 static_cast<double>(report.expected);
+  const metrics::Histogram delay_hist = system.delay_histogram();
+  row.delay_p50_s = delay_hist.p50();
+  row.delay_p99_s = delay_hist.p99();
+  metrics::Registry& reg_mut = system.network().registry();
+  row.hops_p50 = reg_mut.histogram("chord.route_hops").p50();
+  row.hops_p99 = reg_mut.histogram("chord.route_hops").p99();
+  row.retries_p99 = reg_mut.histogram("chord.retries_per_send").p99();
   row.sim_events = system.sim().events_processed();
   return row;
 }

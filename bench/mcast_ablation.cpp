@@ -51,12 +51,28 @@ struct Outcome {
   std::uint64_t hops = 0;
   std::uint64_t node_deliveries = 0;
   double dilation_hops = 0;  // completion time / per-hop delay
+  double hops_p50 = 0;       // per-route hop distribution (unicast legs)
+  double hops_p99 = 0;
+  double fanout_p50 = 0;     // m-cast split branching factor
+  double fanout_p99 = 0;
   std::uint64_t sim_events = 0;
 };
 
 bench::JsonFields json_fields(const Outcome& o) {
   return {{"hops", static_cast<double>(o.hops)},
           {"nodes_hit", static_cast<double>(o.node_deliveries)},
+          {"dilation_hops", o.dilation_hops},
+          {"hops_p50", o.hops_p50},
+          {"hops_p99", o.hops_p99},
+          {"fanout_p50", o.fanout_p50},
+          {"fanout_p99", o.fanout_p99}};
+}
+
+bench::JsonFields metrics_fields(const Outcome& o) {
+  return {{"hops_p50", o.hops_p50},
+          {"hops_p99", o.hops_p99},
+          {"fanout_p50", o.fanout_p50},
+          {"fanout_p99", o.fanout_p99},
           {"dilation_hops", o.dilation_hops}};
 }
 
@@ -111,6 +127,11 @@ Outcome run(Mode mode, std::uint64_t range_keys, std::size_t n = 500) {
   }
   out.dilation_hops = static_cast<double>(last - start) /
                       static_cast<double>(sim::ms(50));
+  metrics::Registry& reg = net.registry();
+  out.hops_p50 = reg.histogram("chord.route_hops").p50();
+  out.hops_p99 = reg.histogram("chord.route_hops").p99();
+  out.fanout_p50 = reg.histogram("chord.mcast_fanout").p50();
+  out.fanout_p99 = reg.histogram("chord.mcast_fanout").p99();
   out.sim_events = sim.events_processed();
   return out;
 }

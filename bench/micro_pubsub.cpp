@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cbps/common/sha1.hpp"
+#include "cbps/metrics/histogram.hpp"
 #include "cbps/pubsub/mapping.hpp"
 #include "cbps/pubsub/store.hpp"
 #include "cbps/workload/generator.hpp"
@@ -29,6 +30,8 @@ struct MicroRow {
   double ns_per_op = 0;
   double ops_per_sec = 0;
   double items_per_sec = 0;  // ops/sec x per-op item count (0 if n/a)
+  double ns_p50 = 0;         // chunk-level per-op cost distribution
+  double ns_p99 = 0;
   std::uint64_t iterations = 0;
 };
 
@@ -36,7 +39,16 @@ bench::JsonFields json_fields(const MicroRow& r) {
   return {{"ns_per_op", r.ns_per_op},
           {"ops_per_sec", r.ops_per_sec},
           {"items_per_sec", r.items_per_sec},
+          {"ns_p50", r.ns_p50},
+          {"ns_p99", r.ns_p99},
           {"iterations", static_cast<double>(r.iterations)}};
+}
+
+bench::JsonFields metrics_fields(const MicroRow& r) {
+  return {{"ns_per_op", r.ns_per_op},
+          {"ns_p50", r.ns_p50},
+          {"ns_p99", r.ns_p99},
+          {"ops_per_sec", r.ops_per_sec}};
 }
 
 double seconds_between(std::chrono::steady_clock::time_point a,
@@ -62,6 +74,22 @@ MicroRow time_op(Op&& op, double items_per_op = 0,
       r.ns_per_op = s * 1e9 / static_cast<double>(iters);
       r.ops_per_sec = static_cast<double>(iters) / s;
       r.items_per_sec = r.ops_per_sec * items_per_op;
+      // Distribution pass: re-run the same budget in chunks, recording
+      // each chunk's per-op cost. (Timing single nanosecond-scale ops
+      // would measure the clock, not the op — chunk-level percentiles
+      // still expose allocator/cache jitter.)
+      metrics::Histogram hist;
+      const std::uint64_t chunks = iters < 32 ? iters : 32;
+      const std::uint64_t per_chunk = iters / chunks;
+      for (std::uint64_t c = 0; per_chunk > 0 && c < chunks; ++c) {
+        const auto cs = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < per_chunk; ++i) op();
+        const double chunk_s =
+            seconds_between(cs, std::chrono::steady_clock::now());
+        hist.add(chunk_s * 1e9 / static_cast<double>(per_chunk));
+      }
+      r.ns_p50 = hist.p50();
+      r.ns_p99 = hist.p99();
       return r;
     }
     // Aim 40% past the threshold; cap the growth factor at 16x.
@@ -87,17 +115,22 @@ MicroRow time_op_with_setup(Setup&& setup, Op&& op,
   }
   double total = 0;
   std::uint64_t iters = 0;
+  metrics::Histogram hist;  // here every op is individually timed
   while (total < min_time_s) {
     auto state = setup();
     const auto start = std::chrono::steady_clock::now();
     op(state);
-    total += seconds_between(start, std::chrono::steady_clock::now());
+    const double s = seconds_between(start, std::chrono::steady_clock::now());
+    total += s;
+    hist.add(s * 1e9);
     ++iters;
   }
   MicroRow r;
   r.iterations = iters;
   r.ns_per_op = total * 1e9 / static_cast<double>(iters);
   r.ops_per_sec = static_cast<double>(iters) / total;
+  r.ns_p50 = hist.p50();
+  r.ns_p99 = hist.p99();
   return r;
 }
 

@@ -22,6 +22,10 @@ struct Result {
   double hops_per_pub = 0;
   double hops_per_notif = 0;
   std::uint64_t notifications = 0;
+  double delay_p50_s = 0;  // publish-to-notify latency distribution
+  double delay_p99_s = 0;
+  double hops_p50 = 0;     // per-route hop distribution
+  double hops_p99 = 0;
   std::uint64_t sim_events = 0;
 };
 
@@ -29,7 +33,19 @@ bench::JsonFields json_fields(const Result& r) {
   return {{"hops_per_sub", r.hops_per_sub},
           {"hops_per_pub", r.hops_per_pub},
           {"hops_per_notif", r.hops_per_notif},
-          {"notifications", static_cast<double>(r.notifications)}};
+          {"notifications", static_cast<double>(r.notifications)},
+          {"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99}};
+}
+
+bench::JsonFields metrics_fields(const Result& r) {
+  return {{"delay_p50_s", r.delay_p50_s},
+          {"delay_p99_s", r.delay_p99_s},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99},
+          {"hops_per_notif", r.hops_per_notif}};
 }
 
 // Drive the identical workload over any pair of (nodes, traffic stats).
@@ -97,6 +113,10 @@ Result drive(sim::Simulator& sim, const std::vector<Key>& ids,
         static_cast<double>(traffic.hops(overlay::MessageClass::kNotify)) /
         static_cast<double>(delivered);
   }
+  metrics::Histogram delay_hist;
+  for (const auto& n : nodes) delay_hist.merge(n->delay_histogram());
+  r.delay_p50_s = delay_hist.p50();
+  r.delay_p99_s = delay_hist.p99();
   r.sim_events = sim.events_processed();
   return r;
 }
@@ -108,10 +128,14 @@ Result run_chord(pubsub::MappingKind kind,
   chord::ChordNetwork net(sim, cfg, 11);
   for (int i = 0; i < 200; ++i) net.add_node("c" + std::to_string(i));
   net.build_static_ring();
-  return drive(
+  Result r = drive(
       sim, net.alive_ids(),
       [&net](Key id) -> overlay::OverlayNode& { return *net.node(id); },
       net.traffic(), kind, transport);
+  metrics::Histogram& hops = net.registry().histogram("chord.route_hops");
+  r.hops_p50 = hops.p50();
+  r.hops_p99 = hops.p99();
+  return r;
 }
 
 Result run_pastry(pubsub::MappingKind kind,
@@ -121,10 +145,14 @@ Result run_pastry(pubsub::MappingKind kind,
   pastry::PastryNetwork net(sim, cfg, 11);
   for (int i = 0; i < 200; ++i) net.add_node("c" + std::to_string(i));
   net.build_static_ring();
-  return drive(
+  Result r = drive(
       sim, net.ids(),
       [&net](Key id) -> overlay::OverlayNode& { return *net.node(id); },
       net.traffic(), kind, transport);
+  metrics::Histogram& hops = net.registry().histogram("pastry.route_hops");
+  r.hops_p50 = hops.p50();
+  r.hops_p99 = hops.p99();
+  return r;
 }
 
 }  // namespace

@@ -19,11 +19,15 @@ namespace {
 
 struct Row {
   double avg_hops = 0;
+  double hops_p50 = 0;
+  double hops_p99 = 0;
   std::uint64_t sim_events = 0;
 };
 
 bench::JsonFields json_fields(const Row& r) {
-  return {{"avg_hops", r.avg_hops}};
+  return {{"avg_hops", r.avg_hops},
+          {"hops_p50", r.hops_p50},
+          {"hops_p99", r.hops_p99}};
 }
 
 struct ProbePayload final : overlay::Payload {
@@ -65,6 +69,7 @@ Row run(std::size_t cache_size, bool feedback, std::size_t n,
     if (i == warmup) {
       sim.run();
       net.traffic().reset();  // measure the warmed steady state only
+      net.registry().histogram("chord.route_hops").reset();
     }
     ChordNode& src = net.alive_node(static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
@@ -75,9 +80,10 @@ Row run(std::size_t cache_size, bool feedback, std::size_t n,
     sim.run_until(sim.now() + sim::ms(500));
   }
   sim.run();
+  metrics::Histogram& hops = net.registry().histogram("chord.route_hops");
   return Row{
       net.traffic().route_hops(overlay::MessageClass::kPublish).mean(),
-      sim.events_processed()};
+      hops.p50(), hops.p99(), sim.events_processed()};
 }
 
 }  // namespace

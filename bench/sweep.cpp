@@ -32,11 +32,37 @@ JsonFields json_fields(const ExperimentResult& r) {
       {"avg_route_hops", r.avg_route_hops},
       {"avg_notification_delay_s", r.avg_notification_delay_s},
       {"max_notification_delay_s", r.max_notification_delay_s},
+      {"delay_p50_s", r.delay_p50_s},
+      {"delay_p99_s", r.delay_p99_s},
+      {"hops_p50", r.hops_p50},
+      {"hops_p99", r.hops_p99},
       {"messages_lost", static_cast<double>(r.messages_lost)},
       {"retransmits", static_cast<double>(r.retransmits)},
       {"sends_failed", static_cast<double>(r.sends_failed)},
       {"duplicates_suppressed",
        static_cast<double>(r.duplicates_suppressed)},
+  };
+}
+
+JsonFields metrics_fields(const ExperimentResult& r) {
+  return {
+      {"delay_p50_s", r.delay_p50_s},
+      {"delay_p90_s", r.delay_p90_s},
+      {"delay_p99_s", r.delay_p99_s},
+      {"delay_max_s", r.delay_max_s},
+      {"avg_notification_delay_s", r.avg_notification_delay_s},
+      {"hops_p50", r.hops_p50},
+      {"hops_p90", r.hops_p90},
+      {"hops_p99", r.hops_p99},
+      {"hops_max", r.hops_max},
+      {"avg_route_hops", r.avg_route_hops},
+      {"fanout_p50", r.fanout_p50},
+      {"fanout_p99", r.fanout_p99},
+      {"retries_p99", r.retries_p99},
+      {"notifications_delivered",
+       static_cast<double>(r.notifications_delivered)},
+      {"traces_started", static_cast<double>(r.traces_started)},
+      {"trace_spans", static_cast<double>(r.trace_spans)},
   };
 }
 

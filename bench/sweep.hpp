@@ -27,8 +27,9 @@
 namespace cbps::bench {
 
 struct SweepOptions {
-  std::size_t jobs = 0;   // 0 = hardware_concurrency
-  std::string json_path;  // empty = no JSON dump
+  std::size_t jobs = 0;           // 0 = hardware_concurrency
+  std::string json_path;          // empty = no JSON dump
+  std::string metrics_json_path;  // empty = no distribution-metrics dump
 };
 
 /// Wall-clock cost and simulated-event throughput of one sweep point.
@@ -44,6 +45,12 @@ struct PointTiming {
 using JsonFields = std::vector<std::pair<std::string, double>>;
 
 JsonFields json_fields(const ExperimentResult& r);
+
+/// Distribution metrics (latency/hop/fan-out percentiles) for the
+/// --metrics-json dump. Benches whose result type has no overload fall
+/// back to their json_fields — providing one is opt-in, exactly like
+/// json_fields itself.
+JsonFields metrics_fields(const ExperimentResult& r);
 
 namespace detail {
 
@@ -84,6 +91,10 @@ class Sweep {
     parser.add("jobs", "worker threads (0 = all hardware threads)", &jobs);
     parser.add("json", "dump per-point timings+metrics to this file",
                &opts_.json_path);
+    parser.add("metrics-json",
+               "dump per-point latency/hop distribution metrics "
+               "(p50/p90/p99) to this file",
+               &opts_.metrics_json_path);
     if (!parser.parse(argc, argv, std::cout, std::cerr)) return false;
     if (jobs < 0) {
       std::cerr << "bad --jobs: " << jobs << '\n';
@@ -146,6 +157,20 @@ class Sweep {
       metrics.reserve(n);
       for (const Result& r : results_) metrics.push_back(json_fields(r));
       detail::write_json(opts_.json_path, bench_,
+                         detail::resolve_jobs(opts_.jobs), total_wall_s_,
+                         labels_, timings_, metrics);
+    }
+    if (!opts_.metrics_json_path.empty()) {
+      std::vector<JsonFields> metrics;
+      metrics.reserve(n);
+      for (const Result& r : results_) {
+        if constexpr (requires { metrics_fields(r); }) {
+          metrics.push_back(metrics_fields(r));
+        } else {
+          metrics.push_back(json_fields(r));
+        }
+      }
+      detail::write_json(opts_.metrics_json_path, bench_,
                          detail::resolve_jobs(opts_.jobs), total_wall_s_,
                          labels_, timings_, metrics);
     }

@@ -5,6 +5,7 @@
 // build static topologies and to verify routing in tests.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "cbps/chord/node.hpp"
 #include "cbps/chord/wire.hpp"
 #include "cbps/metrics/registry.hpp"
+#include "cbps/metrics/trace.hpp"
 #include "cbps/overlay/payload.hpp"
 #include "cbps/sim/latency.hpp"
 #include "cbps/sim/loss.hpp"
@@ -130,6 +132,40 @@ class ChordNetwork {
   const ChordConfig& config() const { return cfg_; }
   RingParams ring() const { return cfg_.ring; }
 
+  // --- observability ------------------------------------------------------
+  /// Install a per-run trace sink (nullptr = tracing off, the default).
+  /// Not owned; must outlive the network.
+  void set_trace_sink(metrics::TraceSink* sink) { trace_sink_ = sink; }
+  metrics::TraceSink* trace_sink() const { return trace_sink_; }
+
+  /// Registry handles resolved once at construction so per-message code
+  /// never does a std::map string lookup (see Registry's cached-handle
+  /// API). Shared by the network's wire and every ChordNode.
+  struct HotStats {
+    explicit HotStats(metrics::Registry& reg);
+
+    metrics::Counter* send_to_dead;
+    metrics::Counter* retransmits;
+    metrics::Counter* send_failed;
+    metrics::Counter* dup_suppressed;
+    metrics::Counter* route_dropped;
+    metrics::Counter* route_no_candidate;
+    metrics::Counter* mcast_dropped_keys;
+    metrics::Counter* chain_dropped;
+    metrics::Counter* chain_no_candidate;
+    metrics::Counter* lookup_dropped;
+    metrics::Counter* lookup_no_candidate;
+    metrics::Counter* net_partition_refused;
+    metrics::Counter* net_partition_dropped;
+    metrics::Counter* net_lost;
+    std::array<metrics::Counter*, overlay::kMessageClassCount>
+        net_lost_by_class;
+    metrics::Histogram* route_hops;       // hops of completed app routes
+    metrics::Histogram* mcast_fanout;     // branches per m-cast split
+    metrics::Histogram* retries_per_send; // retransmits per reliable send
+  };
+  HotStats& hot() { return hot_; }
+
  private:
   sim::Simulator& sim_;
   ChordConfig cfg_;
@@ -139,6 +175,8 @@ class ChordNetwork {
   std::unique_ptr<sim::LossModel> loss_;  // null when loss_rate == 0
   overlay::TrafficStats traffic_;
   metrics::Registry registry_;
+  HotStats hot_{registry_};
+  metrics::TraceSink* trace_sink_ = nullptr;
 
   std::map<Key, std::unique_ptr<ChordNode>> nodes_;  // includes dead nodes
   std::vector<Key> alive_;  // sorted; O(1) dense indexing for benches

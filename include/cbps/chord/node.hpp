@@ -130,10 +130,12 @@ class ChordNode final : public overlay::OverlayNode {
   void forward_route(RouteMsg msg);
   void handle_mcast(McastMsg msg);
   void run_mcast(std::vector<Key> keys, const overlay::PayloadPtr& payload,
-                 std::uint32_t hops, bool initiator);
+                 std::uint32_t hops, bool initiator,
+                 std::uint64_t parent_span = 0);
   void handle_chain(ChainMsg msg);
   void run_chain(std::vector<Key> keys, const overlay::PayloadPtr& payload,
-                 std::uint32_t hops, bool initiator);
+                 std::uint32_t hops, bool initiator,
+                 std::uint64_t parent_span = 0);
   void forward_chain(ChainMsg msg);
   void handle_find_successor(FindSuccessorReq msg);
   void handle_find_successor_reply(const FindSuccessorReply& msg);

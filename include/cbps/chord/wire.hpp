@@ -22,6 +22,7 @@ struct RouteMsg {
   std::uint32_t hops = 0;  // transmissions so far
   Key origin = 0;          // node that issued the send()
   std::uint64_t seq = 0;   // reliability sequence id (0 = no ack wanted)
+  std::uint64_t parent_span = 0;  // trace: span of the previous hop
 };
 
 /// Native multicast (paper §4.3.1, Figure 4). `targets` is the subset of
@@ -32,6 +33,7 @@ struct McastMsg {
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;  // delegation depth guard
   std::uint64_t seq = 0;   // reliability sequence id (0 = no ack wanted)
+  std::uint64_t parent_span = 0;  // trace: span of the delegating split
 };
 
 /// Conservative unicast-based one-to-many baseline: the remaining keys
@@ -41,6 +43,7 @@ struct ChainMsg {
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
   std::uint64_t seq = 0;     // reliability sequence id (0 = no ack wanted)
+  std::uint64_t parent_span = 0;  // trace: span of the previous hop
 };
 
 /// Direct one-hop application message to a ring neighbor (§4.3.2

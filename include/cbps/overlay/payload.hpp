@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "cbps/common/rng.hpp"
+#include "cbps/metrics/trace.hpp"
 
 namespace cbps::overlay {
 
@@ -45,6 +46,12 @@ class Payload {
   /// ... but those messages are longer", which hop counts alone cannot
   /// show). Default: one cache line.
   virtual std::size_t size_bytes() const { return 64; }
+
+  /// Trace context ({0,0} = unsampled). Set by the originating layer
+  /// before the payload pointer is shared as const; read-only from then
+  /// on — payloads are shared across m-cast branches, so per-hop parent
+  /// chaining rides on the copied wire messages instead.
+  metrics::TraceRef trace;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

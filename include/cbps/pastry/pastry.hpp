@@ -22,6 +22,7 @@
 //    dynamics of the paper's evaluation run on Chord).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,6 +35,7 @@
 
 #include "cbps/common/ring.hpp"
 #include "cbps/metrics/registry.hpp"
+#include "cbps/metrics/trace.hpp"
 #include "cbps/overlay/node.hpp"
 #include "cbps/overlay/payload.hpp"
 #include "cbps/sim/latency.hpp"
@@ -63,18 +65,21 @@ struct RouteMsg {
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
   std::uint64_t seq = 0;  // reliability sequence id (0 = no ack wanted)
+  std::uint64_t parent_span = 0;  // trace: span of the previous hop
 };
 struct McastMsg {
   std::vector<Key> targets;
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
   std::uint64_t seq = 0;
+  std::uint64_t parent_span = 0;  // trace: span of the delegating split
 };
 struct ChainMsg {
   std::vector<Key> targets;
   overlay::PayloadPtr payload;
   std::uint32_t hops = 0;
   std::uint64_t seq = 0;
+  std::uint64_t parent_span = 0;  // trace: span of the previous hop
 };
 struct NeighborMsg {
   overlay::PayloadPtr payload;
@@ -166,9 +171,11 @@ class PastryNode final : public overlay::OverlayNode {
   void handle_route(RouteMsg msg);
   void deliver_route(const RouteMsg& msg);
   void run_mcast(std::vector<Key> keys, const overlay::PayloadPtr& payload,
-                 std::uint32_t hops, bool initiator);
+                 std::uint32_t hops, bool initiator,
+                 std::uint64_t parent_span = 0);
   void run_chain(std::vector<Key> keys, const overlay::PayloadPtr& payload,
-                 std::uint32_t hops, bool initiator);
+                 std::uint32_t hops, bool initiator,
+                 std::uint64_t parent_span = 0);
   void forward_chain(ChainMsg msg);
 
   PastryNetwork& net_;
@@ -227,6 +234,33 @@ class PastryNetwork {
   const PastryConfig& config() const { return cfg_; }
   RingParams ring() const { return cfg_.ring; }
 
+  /// Install a per-run trace sink (nullptr = tracing off, the default).
+  void set_trace_sink(metrics::TraceSink* sink) { trace_sink_ = sink; }
+  metrics::TraceSink* trace_sink() const { return trace_sink_; }
+
+  /// Pre-resolved registry handles for per-message hot paths (mirrors
+  /// ChordNetwork::HotStats).
+  struct HotStats {
+    explicit HotStats(metrics::Registry& reg);
+
+    metrics::Counter* send_to_dead;
+    metrics::Counter* retransmits;
+    metrics::Counter* send_failed;
+    metrics::Counter* dup_suppressed;
+    metrics::Counter* route_dropped;
+    metrics::Counter* route_no_candidate;
+    metrics::Counter* mcast_dropped_keys;
+    metrics::Counter* chain_dropped;
+    metrics::Counter* chain_no_candidate;
+    metrics::Counter* net_lost;
+    std::array<metrics::Counter*, overlay::kMessageClassCount>
+        net_lost_by_class;
+    metrics::Histogram* route_hops;
+    metrics::Histogram* mcast_fanout;
+    metrics::Histogram* retries_per_send;
+  };
+  HotStats& hot() { return hot_; }
+
  private:
   sim::Simulator& sim_;
   PastryConfig cfg_;
@@ -236,6 +270,8 @@ class PastryNetwork {
   std::unique_ptr<sim::LossModel> loss_;  // null when loss_rate == 0
   overlay::TrafficStats traffic_;
   metrics::Registry registry_;
+  HotStats hot_{registry_};
+  metrics::TraceSink* trace_sink_ = nullptr;
   std::map<Key, std::unique_ptr<PastryNode>> nodes_;
   std::vector<Key> ids_;  // sorted
 };

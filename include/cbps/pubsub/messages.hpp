@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cbps/common/types.hpp"
+#include "cbps/metrics/trace.hpp"
 #include "cbps/overlay/payload.hpp"
 #include "cbps/pubsub/event.hpp"
 #include "cbps/pubsub/mapping.hpp"
@@ -21,6 +22,10 @@ struct Notification {
   /// the benches measure the notification delay that buffering and
   /// collecting trade for fewer messages (§4.3.2).
   sim::SimTime published_at = 0;
+  /// Per-match trace context: notifications carry their own ref (distinct
+  /// from the enclosing payload's) because buffering and collecting batch
+  /// matches from different publishes into one wire message.
+  metrics::TraceRef trace;
 };
 
 /// Propagates a subscription to its rendezvous keys.

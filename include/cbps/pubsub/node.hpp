@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "cbps/metrics/histogram.hpp"
+#include "cbps/metrics/trace.hpp"
 #include "cbps/overlay/node.hpp"
 #include "cbps/pubsub/mapping.hpp"
 #include "cbps/pubsub/messages.hpp"
@@ -77,6 +79,11 @@ class PubSubNode final : public overlay::OverlayApp {
 
   void set_notify_sink(NotifySink sink) { sink_ = std::move(sink); }
 
+  /// Install a per-run trace sink (nullptr = tracing off, the default).
+  /// Samples new traces at publish/subscribe and emits pub/sub-layer
+  /// spans (publish, map, buffer, collect, notify, deliver, drop).
+  void set_trace_sink(metrics::TraceSink* sink) { trace_ = sink; }
+
   // --- application API: the paper's sub() / pub() ----------------------
   /// Register `sub` (id and subscriber key must be filled in) for `ttl`.
   void subscribe(SubscriptionPtr sub, sim::SimTime ttl);
@@ -132,6 +139,11 @@ class PubSubNode final : public overlay::OverlayApp {
   const RunningStat& notification_delay() const {
     return notification_delay_;
   }
+  /// Publish-to-notify latency distribution (seconds): same samples as
+  /// notification_delay(), but with percentiles.
+  const metrics::Histogram& delay_histogram() const { return delay_hist_; }
+  /// Rendezvous-key fan-out per publish issued from this node.
+  const metrics::Histogram& fanout_histogram() const { return fanout_hist_; }
   std::uint64_t notify_batches_sent() const { return notify_batches_sent_; }
   std::uint64_t notifications_sent() const { return notifications_sent_; }
   /// Imported records that were not ours to keep and were re-issued as
@@ -172,9 +184,10 @@ class PubSubNode final : public overlay::OverlayApp {
                 const overlay::PayloadPtr& payload);
 
   /// Route one match to its subscriber through the configured path
-  /// (immediate / buffered / collected).
+  /// (immediate / buffered / collected). `trace` is the publish payload's
+  /// context; the notification inherits it.
   void route_match(const SubscriptionStore::Record& rec, EventPtr event,
-                   sim::SimTime published_at);
+                   sim::SimTime published_at, metrics::TraceRef trace);
 
   void buffer_notification(Key subscriber, Notification n);
   void enqueue_collect(CollectItem item);
@@ -202,6 +215,7 @@ class PubSubNode final : public overlay::OverlayApp {
   SubscriptionStore store_;
   std::unordered_map<SubscriptionId, OwnSub> own_subs_;
   NotifySink sink_;
+  metrics::TraceSink* trace_ = nullptr;
 
   // Pending per-subscriber notification batches (buffering + agent role).
   std::unordered_map<Key, std::vector<Notification>> notify_buffer_;
@@ -224,6 +238,8 @@ class PubSubNode final : public overlay::OverlayApp {
   std::uint64_t misdirected_notifies_ = 0;
   std::uint64_t reissued_imports_ = 0;
   RunningStat notification_delay_;
+  metrics::Histogram delay_hist_;
+  metrics::Histogram fanout_hist_;
   // (event, subscription) pairs already surfaced to the sink; only
   // populated when cfg_.duplicate_suppression is on.
   std::set<std::pair<EventId, SubscriptionId>> delivered_;

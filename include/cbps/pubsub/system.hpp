@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "cbps/chord/network.hpp"
+#include "cbps/metrics/timeseries.hpp"
+#include "cbps/metrics/trace.hpp"
 #include "cbps/pubsub/mapping.hpp"
 #include "cbps/pubsub/node.hpp"
 #include "cbps/sim/simulator.hpp"
@@ -26,6 +28,9 @@ struct SystemConfig {
   MappingKind mapping = MappingKind::kSelectiveAttribute;
   MappingOptions mapping_options;
   sim::SimTime message_delay = sim::ms(50);  // paper default (§5.1)
+  /// Fraction of publish/subscribe roots that start a causal trace
+  /// (0 = tracing off; the sink is then never even allocated).
+  double trace_sample_rate = 0.0;
 };
 
 /// A complete simulated deployment of the paper's architecture.
@@ -141,7 +146,28 @@ class PubSubSystem {
   /// Publish-to-notify latency across all subscribers (seconds).
   RunningStat notification_delay() const;
 
+  /// Publish-to-notify latency distribution (seconds, percentiles),
+  /// merged across all subscribers.
+  metrics::Histogram delay_histogram() const;
+  /// Rendezvous-key fan-out per publish, merged across all publishers.
+  metrics::Histogram fanout_histogram() const;
+
+  // --- observability ---------------------------------------------------------
+  /// Per-run causal-trace sink; null unless cfg.trace_sample_rate > 0.
+  /// Wired into the overlay network and every pub/sub node (joins too).
+  metrics::TraceSink* trace_sink() { return trace_sink_.get(); }
+
+  /// Arm the periodic time-series sampler (one row every `period`,
+  /// plus a baseline row now). Call stop_sampler() before quiesce():
+  /// the periodic timer otherwise keeps the event queue alive forever.
+  void start_sampler(sim::SimTime period);
+  void stop_sampler();
+  bool sampler_running() const { return sampler_timer_ != 0; }
+  const metrics::TimeSeries& timeseries() const { return series_; }
+
  private:
+  void sample_once();
+
   SystemConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<AkMapping> mapping_;
@@ -150,6 +176,13 @@ class PubSubSystem {
   std::vector<std::unique_ptr<PubSubNode>> nodes_;  // parallel to node_ids_
   std::vector<std::size_t> host_of_;                // parallel to node_ids_
   std::size_t hosts_ = 0;
+
+  std::unique_ptr<metrics::TraceSink> trace_sink_;
+  metrics::TimeSeries series_{{"in_flight_events", "pending_retries",
+                               "owned_subs_max", "owned_subs_avg",
+                               "alive_nodes", "notifications_delivered",
+                               "ge_bad_state"}};
+  sim::Simulator::TimerId sampler_timer_ = 0;
 
   NotifySink sink_;
   SubscriptionId next_sub_id_ = 1;

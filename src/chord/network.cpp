@@ -8,6 +8,33 @@
 
 namespace cbps::chord {
 
+ChordNetwork::HotStats::HotStats(metrics::Registry& reg)
+    : send_to_dead(reg.counter_handle("chord.send_to_dead")),
+      retransmits(reg.counter_handle("chord.retransmits")),
+      send_failed(reg.counter_handle("chord.send_failed")),
+      dup_suppressed(reg.counter_handle("chord.dup_suppressed")),
+      route_dropped(reg.counter_handle("chord.route_dropped")),
+      route_no_candidate(reg.counter_handle("chord.route_no_candidate")),
+      mcast_dropped_keys(reg.counter_handle("chord.mcast_dropped_keys")),
+      chain_dropped(reg.counter_handle("chord.chain_dropped")),
+      chain_no_candidate(reg.counter_handle("chord.chain_no_candidate")),
+      lookup_dropped(reg.counter_handle("chord.lookup_dropped")),
+      lookup_no_candidate(reg.counter_handle("chord.lookup_no_candidate")),
+      net_partition_refused(
+          reg.counter_handle("chord.net.partition_refused")),
+      net_partition_dropped(
+          reg.counter_handle("chord.net.partition_dropped")),
+      net_lost(reg.counter_handle("chord.net.lost")),
+      route_hops(reg.histogram_handle("chord.route_hops")),
+      mcast_fanout(reg.histogram_handle("chord.mcast_fanout")),
+      retries_per_send(reg.histogram_handle("chord.retries_per_send")) {
+  for (std::size_t c = 0; c < overlay::kMessageClassCount; ++c) {
+    net_lost_by_class[c] = reg.counter_handle(
+        std::string("chord.net.lost.") +
+        std::string(overlay::to_string(static_cast<overlay::MessageClass>(c))));
+  }
+}
+
 ChordNetwork::ChordNetwork(sim::Simulator& sim, ChordConfig cfg,
                            std::uint64_t seed,
                            std::unique_ptr<sim::LatencyModel> latency)
@@ -229,18 +256,15 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
     // Partitioned link: the connection attempt fails exactly like a
     // dead peer, so the caller evicts the peer and the successor-list /
     // finger repair machinery takes over inside each side of the cut.
-    registry_.counter("chord.net.partition_refused").inc();
+    hot_.net_partition_refused->inc();
     return false;
   }
   traffic_.record_hop(cls, wire_size_bytes(msg));
 
   if (loss_ != nullptr && loss_->drop(loss_rng_)) {
     // The message hit the wire (hop/bytes recorded) but never arrives.
-    registry_.counter("chord.net.lost").inc();
-    registry_
-        .counter(std::string("chord.net.lost.") +
-                 std::string(overlay::to_string(cls)))
-        .inc();
+    hot_.net_lost->inc();
+    hot_.net_lost_by_class[static_cast<std::size_t>(cls)]->inc();
     return true;
   }
 
@@ -268,7 +292,7 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
     // silently lost, and the sender's ack/retry layer must recover it
     // (or fail the send and reroute).
     if (!reachable(from, to)) {
-      registry_.counter("chord.net.partition_dropped").inc();
+      hot_.net_partition_dropped->inc();
       return;
     }
     nodes_.at(to)->receive(std::move(*env));

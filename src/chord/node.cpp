@@ -9,8 +9,42 @@
 
 namespace cbps::chord {
 
+using metrics::DropReason;
+using metrics::SpanKind;
 using overlay::MessageClass;
 using overlay::PayloadPtr;
+
+namespace {
+
+/// Trace context for the next span at this hop: the payload's sampled
+/// trace, re-parented on the previous hop's span when one is carried on
+/// the wire message.
+metrics::TraceRef hop_ref(const PayloadPtr& payload,
+                          std::uint64_t parent_span) {
+  metrics::TraceRef t = payload ? payload->trace : metrics::TraceRef{};
+  if (parent_span != 0) t.parent_span = parent_span;
+  return t;
+}
+
+/// Trace context of any wire message (unsampled for payload-free ones).
+metrics::TraceRef wire_ref(const WireMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> metrics::TraceRef {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RouteMsg> ||
+                      std::is_same_v<T, McastMsg> ||
+                      std::is_same_v<T, ChainMsg>) {
+          return hop_ref(m.payload, m.parent_span);
+        } else if constexpr (std::is_same_v<T, NeighborMsg>) {
+          return m.payload ? m.payload->trace : metrics::TraceRef{};
+        } else {
+          return {};
+        }
+      },
+      msg);
+}
+
+}  // namespace
 
 ChordNode::ChordNode(ChordNetwork& net, Key id, std::string name)
     : net_(net),
@@ -37,7 +71,7 @@ bool ChordNode::transmit(Key to, WireMessage msg, MessageClass cls) {
     return transmit_reliable(to, std::move(msg), cls);
   }
   if (!net_.transmit(id_, to, std::move(msg), cls)) {
-    net_.registry().counter("chord.send_to_dead").inc();
+    net_.hot().send_to_dead->inc();
     on_peer_dead(to);
     return false;
   }
@@ -53,7 +87,7 @@ bool ChordNode::transmit_reliable(Key to, WireMessage msg,
   const std::uint64_t seq = next_send_seq_++;
   *seq_field(msg) = seq;
   if (!net_.transmit(id_, to, msg, cls)) {
-    net_.registry().counter("chord.send_to_dead").inc();
+    net_.hot().send_to_dead->inc();
     on_peer_dead(to);
     return false;
   }
@@ -74,12 +108,27 @@ void ChordNode::retransmit(std::uint64_t seq) {
   if (it == pending_sends_.end()) return;  // acked since the timer fired
   PendingSend& p = it->second;
   if (p.retries >= config().max_retries) {
-    net_.registry().counter("chord.send_failed").inc();
+    net_.hot().send_failed->inc();
+    net_.hot().retries_per_send->add(p.retries);
+    if (auto* ts = net_.trace_sink()) {
+      if (const auto t = wire_ref(p.msg); t.sampled()) {
+        const auto now = net_.sim().now();
+        ts->emit(t, SpanKind::kDrop, id_, now, now,
+                 static_cast<std::uint64_t>(DropReason::kRetryBudget),
+                 p.retries);
+      }
+    }
     pending_sends_.erase(it);
     return;
   }
   ++p.retries;
-  net_.registry().counter("chord.retransmits").inc();
+  net_.hot().retransmits->inc();
+  if (auto* ts = net_.trace_sink()) {
+    if (const auto t = wire_ref(p.msg); t.sampled()) {
+      const auto now = net_.sim().now();
+      ts->emit(t, SpanKind::kRetry, id_, now, now, p.retries);
+    }
+  }
   if (net_.transmit(id_, p.to, p.msg, p.cls)) {
     p.timeout *= 2;  // exponential backoff
     p.timer = net_.sim().schedule_after(p.timeout,
@@ -93,14 +142,14 @@ void ChordNode::retransmit(std::uint64_t seq) {
   const Key dead = p.to;
   WireMessage msg = std::move(p.msg);
   pending_sends_.erase(it);
-  net_.registry().counter("chord.send_to_dead").inc();
+  net_.hot().send_to_dead->inc();
   on_peer_dead(dead);
   if (auto* r = std::get_if<RouteMsg>(&msg)) {
     r->seq = 0;
     forward_route(std::move(*r));
   } else if (auto* m = std::get_if<McastMsg>(&msg)) {
     run_mcast(std::move(m->targets), m->payload, m->hops,
-              /*initiator=*/false);
+              /*initiator=*/false, m->parent_span);
   } else if (auto* c = std::get_if<ChainMsg>(&msg)) {
     c->seq = 0;
     forward_chain(std::move(*c));
@@ -113,19 +162,20 @@ void ChordNode::retransmit(std::uint64_t seq) {
       pl->seq = 0;
       transmit(succ, std::move(*pl), MessageClass::kStateTransfer);
     } else {
-      net_.registry().counter("chord.send_failed").inc();
+      net_.hot().send_failed->inc();
     }
   } else {
     // NeighborMsg / SuccLeaveMsg / state-pull traffic: the peer it
     // addressed is gone and no equivalent recipient exists; count the
     // loss.
-    net_.registry().counter("chord.send_failed").inc();
+    net_.hot().send_failed->inc();
   }
 }
 
 void ChordNode::handle_ack(std::uint64_t acked_seq) {
   auto it = pending_sends_.find(acked_seq);
   if (it == pending_sends_.end()) return;  // late ack of a retransmit
+  net_.hot().retries_per_send->add(it->second.retries);
   // Karn's rule: only never-retransmitted sends yield RTT samples — an
   // ack after a retransmission is ambiguous about which copy it answers.
   if (it->second.retries == 0 && config().adaptive_rto) {
@@ -267,6 +317,7 @@ void ChordNode::deliver_route(const RouteMsg& msg) {
   const MessageClass cls = msg.payload->message_class();
   net_.traffic().record_delivery(cls);
   net_.traffic().record_route_complete(cls, msg.hops);
+  net_.hot().route_hops->add(msg.hops);
   if (config().owner_feedback && msg.origin != id_ && msg.hops > 1) {
     transmit(msg.origin, OwnerInfoMsg{id_, has_pred_ ? pred_ : id_},
              MessageClass::kControl);
@@ -275,13 +326,33 @@ void ChordNode::deliver_route(const RouteMsg& msg) {
 }
 
 void ChordNode::forward_route(RouteMsg msg) {
+  metrics::TraceSink* ts = net_.trace_sink();
   if (msg.hops >= config().max_route_hops) {
-    net_.registry().counter("chord.route_dropped").inc();
+    net_.hot().route_dropped->inc();
+    if (ts != nullptr) {
+      if (const auto t = hop_ref(msg.payload, msg.parent_span); t.sampled()) {
+        const auto now = net_.sim().now();
+        ts->emit(t, SpanKind::kDrop, id_, now, now,
+                 static_cast<std::uint64_t>(DropReason::kMaxHops), msg.hops);
+      }
+    }
     CBPS_LOG_WARN << "node " << id_ << ": dropping route to " << msg.target
                   << " after " << msg.hops << " hops";
     return;
   }
   const MessageClass cls = msg.payload->message_class();
+  // One span per forwarding step, re-parenting the wire message so the
+  // next hop's span chains to this one.
+  if (ts != nullptr) {
+    if (const auto t = hop_ref(msg.payload, msg.parent_span); t.sampled()) {
+      const auto now = net_.sim().now();
+      if (const auto span = ts->emit(t, SpanKind::kRouteHop, id_, now, now,
+                                     msg.target, msg.hops);
+          span != 0) {
+        msg.parent_span = span;
+      }
+    }
+  }
   for (;;) {
     if (covers(msg.target)) {  // candidate eviction can make us the owner
       deliver_route(msg);
@@ -289,7 +360,16 @@ void ChordNode::forward_route(RouteMsg msg) {
     }
     const auto nh = next_hop(msg.target);
     if (!nh) {
-      net_.registry().counter("chord.route_no_candidate").inc();
+      net_.hot().route_no_candidate->inc();
+      if (ts != nullptr) {
+        if (const auto t = hop_ref(msg.payload, msg.parent_span);
+            t.sampled()) {
+          const auto now = net_.sim().now();
+          ts->emit(t, SpanKind::kDrop, id_, now, now,
+                   static_cast<std::uint64_t>(DropReason::kNoCandidate),
+                   msg.hops);
+        }
+      }
       return;
     }
     RouteMsg out = msg;
@@ -310,14 +390,24 @@ void ChordNode::m_cast(std::vector<Key> keys, PayloadPtr payload) {
 
 void ChordNode::handle_mcast(McastMsg msg) {
   run_mcast(std::move(msg.targets), msg.payload, msg.hops,
-            /*initiator=*/false);
+            /*initiator=*/false, msg.parent_span);
 }
 
 void ChordNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
-                          std::uint32_t hops, bool initiator) {
+                          std::uint32_t hops, bool initiator,
+                          std::uint64_t parent_span) {
   if (offline_) return;
+  metrics::TraceSink* ts = net_.trace_sink();
   if (hops >= config().max_route_hops) {
-    net_.registry().counter("chord.mcast_dropped_keys").inc(keys.size());
+    net_.hot().mcast_dropped_keys->inc(keys.size());
+    if (ts != nullptr) {
+      if (const auto t = hop_ref(payload, parent_span); t.sampled()) {
+        const auto now = net_.sim().now();
+        ts->emit(t, SpanKind::kDrop, id_, now, now,
+                 static_cast<std::uint64_t>(DropReason::kMaxHops),
+                 keys.size());
+      }
+    }
     return;
   }
 
@@ -354,9 +444,38 @@ void ChordNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
     }
   }
   if (!part.undeliverable.empty()) {
-    net_.registry()
-        .counter("chord.mcast_dropped_keys")
-        .inc(part.undeliverable.size());
+    net_.hot().mcast_dropped_keys->inc(part.undeliverable.size());
+    if (ts != nullptr) {
+      if (const auto t = hop_ref(payload, parent_span); t.sampled()) {
+        const auto now = net_.sim().now();
+        ts->emit(t, SpanKind::kDrop, id_, now, now,
+                 static_cast<std::uint64_t>(DropReason::kMcastDead),
+                 part.undeliverable.size());
+      }
+    }
+  }
+
+  std::size_t branches = 0;
+  std::size_t delegated_keys = 0;
+  for (const auto& d : part.delegated) {
+    if (d.empty()) continue;
+    ++branches;
+    delegated_keys += d.size();
+  }
+  std::uint64_t split_span = parent_span;
+  if (branches > 0) {
+    net_.hot().mcast_fanout->add(static_cast<double>(branches));
+    if (ts != nullptr) {
+      if (const auto t = hop_ref(payload, parent_span); t.sampled()) {
+        const auto now = net_.sim().now();
+        if (const auto span =
+                ts->emit(t, SpanKind::kMcastSplit, id_, now, now,
+                         delegated_keys + part.local.size(), branches);
+            span != 0) {
+          split_span = span;
+        }
+      }
+    }
   }
 
   const MessageClass cls = payload->message_class();
@@ -364,14 +483,17 @@ void ChordNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
   for (std::size_t j = 0; j < candidates.size(); ++j) {
     if (part.delegated[j].empty()) continue;
     if (!transmit(candidates[j],
-                  McastMsg{part.delegated[j], payload, hops + 1}, cls)) {
+                  McastMsg{part.delegated[j], payload, hops + 1, 0,
+                           split_span},
+                  cls)) {
       retry.insert(retry.end(), part.delegated[j].begin(),
                    part.delegated[j].end());
     }
   }
   if (!retry.empty()) {
     // Dead candidates were evicted; re-run the assignment for their keys.
-    run_mcast(std::move(retry), payload, hops + 1, /*initiator=*/false);
+    run_mcast(std::move(retry), payload, hops + 1, /*initiator=*/false,
+              split_span);
   }
 }
 
@@ -391,14 +513,15 @@ void ChordNode::chain_cast(std::vector<Key> keys, PayloadPtr payload) {
 void ChordNode::handle_chain(ChainMsg msg) {
   if (covers(msg.targets.front())) {
     run_chain(std::move(msg.targets), msg.payload, msg.hops,
-              /*initiator=*/false);
+              /*initiator=*/false, msg.parent_span);
   } else {
     forward_chain(std::move(msg));
   }
 }
 
 void ChordNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
-                          std::uint32_t hops, bool initiator) {
+                          std::uint32_t hops, bool initiator,
+                          std::uint64_t parent_span) {
   if (offline_) return;
   std::vector<Key> covered;
   std::vector<Key> remaining;
@@ -424,24 +547,53 @@ void ChordNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
   std::sort(remaining.begin(), remaining.end(), [this](Key a, Key b) {
     return ring().distance(id_, a) < ring().distance(id_, b);
   });
-  forward_chain(ChainMsg{std::move(remaining), payload, hops});
+  forward_chain(ChainMsg{std::move(remaining), payload, hops, 0,
+                         parent_span});
 }
 
 void ChordNode::forward_chain(ChainMsg msg) {
+  metrics::TraceSink* ts = net_.trace_sink();
   if (msg.hops >= config().max_route_hops) {
-    net_.registry().counter("chord.chain_dropped").inc();
+    net_.hot().chain_dropped->inc();
+    if (ts != nullptr) {
+      if (const auto t = hop_ref(msg.payload, msg.parent_span); t.sampled()) {
+        const auto now = net_.sim().now();
+        ts->emit(t, SpanKind::kDrop, id_, now, now,
+                 static_cast<std::uint64_t>(DropReason::kMaxHops),
+                 msg.targets.size());
+      }
+    }
     return;
   }
   const MessageClass cls = msg.payload->message_class();
+  if (ts != nullptr) {
+    if (const auto t = hop_ref(msg.payload, msg.parent_span); t.sampled()) {
+      const auto now = net_.sim().now();
+      if (const auto span = ts->emit(t, SpanKind::kRouteHop, id_, now, now,
+                                     msg.targets.front(), msg.hops);
+          span != 0) {
+        msg.parent_span = span;
+      }
+    }
+  }
   for (;;) {
     if (covers(msg.targets.front())) {
       run_chain(std::move(msg.targets), msg.payload, msg.hops,
-                /*initiator=*/false);
+                /*initiator=*/false, msg.parent_span);
       return;
     }
     const auto nh = next_hop(msg.targets.front());
     if (!nh) {
-      net_.registry().counter("chord.chain_no_candidate").inc();
+      net_.hot().chain_no_candidate->inc();
+      if (ts != nullptr) {
+        if (const auto t = hop_ref(msg.payload, msg.parent_span);
+            t.sampled()) {
+          const auto now = net_.sim().now();
+          ts->emit(t, SpanKind::kDrop, id_, now, now,
+                   static_cast<std::uint64_t>(DropReason::kNoCandidate),
+                   msg.targets.size());
+        }
+      }
       return;
     }
     ChainMsg out = msg;
@@ -498,7 +650,7 @@ void ChordNode::handle_find_successor(FindSuccessorReq msg) {
     return;
   }
   if (msg.hops >= config().max_route_hops) {
-    net_.registry().counter("chord.lookup_dropped").inc();
+    net_.hot().lookup_dropped->inc();
     return;
   }
   for (;;) {
@@ -508,7 +660,7 @@ void ChordNode::handle_find_successor(FindSuccessorReq msg) {
     }
     const auto nh = next_hop(msg.target);
     if (!nh) {
-      net_.registry().counter("chord.lookup_no_candidate").inc();
+      net_.hot().lookup_no_candidate->inc();
       return;
     }
     FindSuccessorReq out = msg;
@@ -761,6 +913,9 @@ void ChordNode::receive(Envelope env) {
   // be scheduled for delivery when the crash lands).
   if (offline_) return;
 
+  // Log lines emitted while handling this message carry our identity.
+  const logctx::ScopedNode log_node(id_);
+
   // Passive learning: every envelope reveals the sender and its claimed
   // covered range. Senders with no predecessor are not ring-integrated
   // (joining nodes) and must not become routing candidates.
@@ -791,7 +946,7 @@ void ChordNode::receive(Envelope env) {
       seq != nullptr && *seq != 0) {
     transmit(env.from, AckMsg{*seq}, MessageClass::kControl);
     if (!seen_seqs_[env.from].insert(*seq).second) {
-      net_.registry().counter("chord.dup_suppressed").inc();
+      net_.hot().dup_suppressed->inc();
       return;
     }
   }

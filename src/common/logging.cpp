@@ -1,6 +1,17 @@
 #include "cbps/common/logging.hpp"
 
+#include <cstdio>
+
 namespace cbps {
+
+namespace logctx {
+
+State& state() {
+  thread_local State s;
+  return s;
+}
+
+}  // namespace logctx
 
 namespace {
 
@@ -23,9 +34,54 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void Logger::write(LogLevel level, std::string_view msg) {
+  std::string line;
+  line.reserve(msg.size() + 32);
+  line += '[';
+  line += level_name(level);
+  line += ']';
+  const logctx::State& ctx = logctx::state();
+  if (ctx.clock_now_us != nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[t=%.6fs]",
+                  static_cast<double>(ctx.clock_now_us(ctx.clock_ctx)) / 1e6);
+    line += buf;
+  }
+  if (ctx.has_node) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[n=%llu]",
+                  static_cast<unsigned long long>(ctx.node));
+    line += buf;
+  }
+  line += ' ';
+  line += msg;
+
+  const bool to_console = level >= this->level();
   std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
   const std::lock_guard<std::mutex> lock(write_mu_);
-  os << '[' << level_name(level) << "] " << msg << '\n';
+  if (level >= ring_level()) {
+    if (ring_.size() >= kRingCap) ring_.pop_front();
+    ring_.push_back(line);
+  }
+  if (to_console) os << line << '\n';
+}
+
+std::vector<std::string> Logger::recent_lines() const {
+  const std::lock_guard<std::mutex> lock(write_mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void Logger::dump_recent(std::ostream& os) {
+  const std::lock_guard<std::mutex> lock(write_mu_);
+  if (ring_.empty()) return;
+  os << "--- recent log lines (" << ring_.size() << ") ---\n";
+  for (const auto& l : ring_) os << l << '\n';
+  os << "--- end recent log lines ---\n";
+  ring_.clear();
+}
+
+void Logger::clear_recent() {
+  const std::lock_guard<std::mutex> lock(write_mu_);
+  ring_.clear();
 }
 
 }  // namespace cbps

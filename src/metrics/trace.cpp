@@ -1,0 +1,83 @@
+#include "cbps/metrics/trace.hpp"
+
+#include <ostream>
+
+namespace cbps::metrics {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPublish: return "publish";
+    case SpanKind::kSubscribe: return "subscribe";
+    case SpanKind::kMap: return "map";
+    case SpanKind::kRouteHop: return "route-hop";
+    case SpanKind::kMcastSplit: return "mcast-split";
+    case SpanKind::kBuffer: return "buffer";
+    case SpanKind::kCollect: return "collect";
+    case SpanKind::kNotify: return "notify";
+    case SpanKind::kDeliver: return "deliver";
+    case SpanKind::kRetry: return "retry";
+    case SpanKind::kDrop: return "drop";
+    case SpanKind::kCount: break;
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(double sample_rate)
+    : sample_rate_(sample_rate < 0.0   ? 0.0
+                   : sample_rate > 1.0 ? 1.0
+                                       : sample_rate) {}
+
+std::uint64_t TraceSink::maybe_start_trace() {
+  if (sample_rate_ <= 0.0) return 0;
+  credit_ += sample_rate_;
+  if (credit_ < 1.0) return 0;
+  credit_ -= 1.0;
+  return next_trace_++;
+}
+
+std::uint64_t TraceSink::emit(const TraceRef& t, SpanKind kind,
+                              std::uint64_t node, std::uint64_t start_us,
+                              std::uint64_t end_us, std::uint64_t a,
+                              std::uint64_t b) {
+  if (!t.sampled()) return 0;
+  if (spans_.size() >= max_spans_) {
+    ++spans_dropped_;
+    return 0;
+  }
+  const std::uint64_t id = next_span_++;
+  spans_.push_back(Span{id, t.trace_id, t.parent_span, kind, node, start_us,
+                        end_us, a, b});
+  return id;
+}
+
+void TraceSink::write_jsonl(std::ostream& os) const {
+  for (const Span& s : spans_) {
+    os << "{\"span\":" << s.span_id << ",\"trace\":" << s.trace_id
+       << ",\"parent\":" << s.parent_span << ",\"kind\":\""
+       << to_string(s.kind) << "\",\"node\":" << s.node
+       << ",\"ts_us\":" << s.start_us << ",\"end_us\":" << s.end_us
+       << ",\"a\":" << s.a << ",\"b\":" << s.b << "}\n";
+  }
+}
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events; zero-duration instants get dur=1 so they
+    // stay visible in the Perfetto timeline. pid 1 = the simulation,
+    // tid = node id, so each Perfetto track is one node's activity.
+    const std::uint64_t dur = s.end_us > s.start_us ? s.end_us - s.start_us : 1;
+    os << "\n{\"name\":\"" << to_string(s.kind)
+       << "\",\"cat\":\"cbps\",\"ph\":\"X\",\"ts\":" << s.start_us
+       << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << s.node
+       << ",\"args\":{\"span\":" << s.span_id << ",\"trace\":" << s.trace_id
+       << ",\"parent\":" << s.parent_span << ",\"a\":" << s.a
+       << ",\"b\":" << s.b << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cbps::metrics

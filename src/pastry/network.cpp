@@ -6,6 +6,27 @@
 
 namespace cbps::pastry {
 
+PastryNetwork::HotStats::HotStats(metrics::Registry& reg)
+    : send_to_dead(reg.counter_handle("pastry.send_to_dead")),
+      retransmits(reg.counter_handle("pastry.retransmits")),
+      send_failed(reg.counter_handle("pastry.send_failed")),
+      dup_suppressed(reg.counter_handle("pastry.dup_suppressed")),
+      route_dropped(reg.counter_handle("pastry.route_dropped")),
+      route_no_candidate(reg.counter_handle("pastry.route_no_candidate")),
+      mcast_dropped_keys(reg.counter_handle("pastry.mcast_dropped_keys")),
+      chain_dropped(reg.counter_handle("pastry.chain_dropped")),
+      chain_no_candidate(reg.counter_handle("pastry.chain_no_candidate")),
+      net_lost(reg.counter_handle("pastry.net.lost")),
+      route_hops(reg.histogram_handle("pastry.route_hops")),
+      mcast_fanout(reg.histogram_handle("pastry.mcast_fanout")),
+      retries_per_send(reg.histogram_handle("pastry.retries_per_send")) {
+  for (std::size_t c = 0; c < overlay::kMessageClassCount; ++c) {
+    net_lost_by_class[c] = reg.counter_handle(
+        std::string("pastry.net.lost.") +
+        std::string(overlay::to_string(static_cast<overlay::MessageClass>(c))));
+  }
+}
+
 PastryNetwork::PastryNetwork(sim::Simulator& sim, PastryConfig cfg,
                              std::uint64_t seed,
                              std::unique_ptr<sim::LatencyModel> latency)
@@ -126,11 +147,8 @@ bool PastryNetwork::transmit(Key from, Key to, WireMessage msg,
 
   if (loss_ != nullptr && loss_->drop(loss_rng_)) {
     // The message hit the wire (hop/bytes recorded) but never arrives.
-    registry_.counter("pastry.net.lost").inc();
-    registry_
-        .counter(std::string("pastry.net.lost.") +
-                 std::string(overlay::to_string(cls)))
-        .inc();
+    hot_.net_lost->inc();
+    hot_.net_lost_by_class[static_cast<std::size_t>(cls)]->inc();
     return true;
   }
 

@@ -7,8 +7,39 @@
 
 namespace cbps::pastry {
 
+using metrics::DropReason;
+using metrics::SpanKind;
 using overlay::MessageClass;
 using overlay::PayloadPtr;
+
+namespace {
+
+/// Trace context for the next span at this hop (see chord/node.cpp).
+metrics::TraceRef hop_ref(const PayloadPtr& payload,
+                          std::uint64_t parent_span) {
+  metrics::TraceRef t = payload ? payload->trace : metrics::TraceRef{};
+  if (parent_span != 0) t.parent_span = parent_span;
+  return t;
+}
+
+metrics::TraceRef wire_ref(const WireMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> metrics::TraceRef {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RouteMsg> ||
+                      std::is_same_v<T, McastMsg> ||
+                      std::is_same_v<T, ChainMsg>) {
+          return hop_ref(m.payload, m.parent_span);
+        } else if constexpr (std::is_same_v<T, NeighborMsg>) {
+          return m.payload ? m.payload->trace : metrics::TraceRef{};
+        } else {
+          return {};
+        }
+      },
+      msg);
+}
+
+}  // namespace
 
 PastryNode::PastryNode(PastryNetwork& net, Key id, std::string name)
     : net_(net), id_(id), name_(std::move(name)) {
@@ -46,7 +77,7 @@ bool PastryNode::transmit(Key to, WireMessage msg, MessageClass cls) {
     return transmit_reliable(to, std::move(msg), cls);
   }
   if (!net_.transmit(id_, to, std::move(msg), cls)) {
-    net_.registry().counter("pastry.send_to_dead").inc();
+    net_.hot().send_to_dead->inc();
     return false;
   }
   return true;
@@ -61,7 +92,7 @@ bool PastryNode::transmit_reliable(Key to, WireMessage msg,
   const std::uint64_t seq = next_send_seq_++;
   *seq_field(msg) = seq;
   if (!net_.transmit(id_, to, msg, cls)) {
-    net_.registry().counter("pastry.send_to_dead").inc();
+    net_.hot().send_to_dead->inc();
     return false;
   }
   PendingSend p;
@@ -80,12 +111,27 @@ void PastryNode::retransmit(std::uint64_t seq) {
   if (it == pending_sends_.end()) return;  // acked since the timer fired
   PendingSend& p = it->second;
   if (p.retries >= config().max_retries) {
-    net_.registry().counter("pastry.send_failed").inc();
+    net_.hot().send_failed->inc();
+    net_.hot().retries_per_send->add(p.retries);
+    if (auto* ts = net_.trace_sink()) {
+      if (const auto t = wire_ref(p.msg); t.sampled()) {
+        const auto now = net_.sim().now();
+        ts->emit(t, SpanKind::kDrop, id_, now, now,
+                 static_cast<std::uint64_t>(DropReason::kRetryBudget),
+                 p.retries);
+      }
+    }
     pending_sends_.erase(it);
     return;
   }
   ++p.retries;
-  net_.registry().counter("pastry.retransmits").inc();
+  net_.hot().retransmits->inc();
+  if (auto* ts = net_.trace_sink()) {
+    if (const auto t = wire_ref(p.msg); t.sampled()) {
+      const auto now = net_.sim().now();
+      ts->emit(t, SpanKind::kRetry, id_, now, now, p.retries);
+    }
+  }
   if (net_.transmit(id_, p.to, p.msg, p.cls)) {
     p.timeout *= 2;  // exponential backoff
     p.timer = net_.sim().schedule_after(p.timeout,
@@ -95,12 +141,13 @@ void PastryNode::retransmit(std::uint64_t seq) {
   // The Pastry harness has no membership dynamics, so this only fires if
   // a peer was removed out-of-band; count the loss.
   pending_sends_.erase(it);
-  net_.registry().counter("pastry.send_failed").inc();
+  net_.hot().send_failed->inc();
 }
 
 void PastryNode::handle_ack(std::uint64_t acked_seq) {
   auto it = pending_sends_.find(acked_seq);
   if (it == pending_sends_.end()) return;  // late ack of a retransmit
+  net_.hot().retries_per_send->add(it->second.retries);
   net_.sim().cancel(it->second.timer);
   pending_sends_.erase(it);
 }
@@ -191,6 +238,7 @@ void PastryNode::deliver_route(const RouteMsg& msg) {
   const MessageClass cls = msg.payload->message_class();
   net_.traffic().record_delivery(cls);
   net_.traffic().record_route_complete(cls, msg.hops);
+  net_.hot().route_hops->add(msg.hops);
   if (app_ != nullptr) app_->on_deliver(msg.target, msg.payload);
 }
 
@@ -200,17 +248,37 @@ void PastryNode::handle_route(RouteMsg msg) {
     return;
   }
   if (msg.hops >= config().max_route_hops) {
-    net_.registry().counter("pastry.route_dropped").inc();
+    net_.hot().route_dropped->inc();
+    if (auto* ts = net_.trace_sink()) {
+      const auto now = net_.sim().now();
+      ts->emit(hop_ref(msg.payload, msg.parent_span), SpanKind::kDrop, id_,
+               now, now, static_cast<std::uint64_t>(DropReason::kMaxHops),
+               msg.hops);
+    }
     return;
   }
   const auto nh = next_hop(msg.target);
   if (!nh) {
-    net_.registry().counter("pastry.route_no_candidate").inc();
+    net_.hot().route_no_candidate->inc();
+    if (auto* ts = net_.trace_sink()) {
+      const auto now = net_.sim().now();
+      ts->emit(hop_ref(msg.payload, msg.parent_span), SpanKind::kDrop, id_,
+               now, now,
+               static_cast<std::uint64_t>(DropReason::kNoCandidate),
+               msg.hops);
+    }
     return;
   }
   const MessageClass cls = msg.payload->message_class();
   RouteMsg out = std::move(msg);
   ++out.hops;
+  if (auto* ts = net_.trace_sink()) {
+    const auto now = net_.sim().now();
+    const std::uint64_t span =
+        ts->emit(hop_ref(out.payload, out.parent_span), SpanKind::kRouteHop,
+                 id_, now, now, out.target, out.hops);
+    if (span != 0) out.parent_span = span;
+  }
   transmit(*nh, std::move(out), cls);
 }
 
@@ -224,9 +292,15 @@ void PastryNode::m_cast(std::vector<Key> keys, PayloadPtr payload) {
 }
 
 void PastryNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
-                           std::uint32_t hops, bool initiator) {
+                           std::uint32_t hops, bool initiator,
+                           std::uint64_t parent_span) {
   if (hops >= config().max_route_hops) {
-    net_.registry().counter("pastry.mcast_dropped_keys").inc(keys.size());
+    net_.hot().mcast_dropped_keys->inc(keys.size());
+    if (auto* ts = net_.trace_sink()) {
+      const auto now = net_.sim().now();
+      ts->emit(hop_ref(payload, parent_span), SpanKind::kDrop, id_, now, now,
+               static_cast<std::uint64_t>(DropReason::kMaxHops), keys.size());
+    }
     return;
   }
   const std::vector<Key> candidates = known_nodes_by_distance();
@@ -248,14 +322,37 @@ void PastryNode::run_mcast(std::vector<Key> keys, const PayloadPtr& payload,
     }
   }
   if (!part.undeliverable.empty()) {
-    net_.registry()
-        .counter("pastry.mcast_dropped_keys")
-        .inc(part.undeliverable.size());
+    net_.hot().mcast_dropped_keys->inc(part.undeliverable.size());
+    if (auto* ts = net_.trace_sink()) {
+      const auto now = net_.sim().now();
+      ts->emit(hop_ref(payload, parent_span), SpanKind::kDrop, id_, now, now,
+               static_cast<std::uint64_t>(DropReason::kMcastDead),
+               part.undeliverable.size());
+    }
+  }
+  std::size_t branches = 0;
+  std::size_t delegated_keys = 0;
+  for (const auto& d : part.delegated) {
+    if (d.empty()) continue;
+    ++branches;
+    delegated_keys += d.size();
+  }
+  std::uint64_t split_span = parent_span;
+  if (branches > 0) {
+    net_.hot().mcast_fanout->add(static_cast<double>(branches));
+    if (auto* ts = net_.trace_sink()) {
+      const auto now = net_.sim().now();
+      const std::uint64_t span =
+          ts->emit(hop_ref(payload, parent_span), SpanKind::kMcastSplit, id_,
+                   now, now, delegated_keys + part.local.size(), branches);
+      if (span != 0) split_span = span;
+    }
   }
   const MessageClass cls = payload->message_class();
   for (std::size_t j = 0; j < candidates.size(); ++j) {
     if (part.delegated[j].empty()) continue;
-    transmit(candidates[j], McastMsg{part.delegated[j], payload, hops + 1},
+    transmit(candidates[j],
+             McastMsg{part.delegated[j], payload, hops + 1, 0, split_span},
              cls);
   }
 }
@@ -266,7 +363,8 @@ void PastryNode::chain_cast(std::vector<Key> keys, PayloadPtr payload) {
 }
 
 void PastryNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
-                           std::uint32_t hops, bool initiator) {
+                           std::uint32_t hops, bool initiator,
+                           std::uint64_t parent_span) {
   std::sort(keys.begin(), keys.end(), [this](Key a, Key b) {
     return ring().distance(id_, a) < ring().distance(id_, b);
   });
@@ -288,27 +386,47 @@ void PastryNode::run_chain(std::vector<Key> keys, const PayloadPtr& payload,
     }
   }
   if (remaining.empty()) return;
-  forward_chain(ChainMsg{std::move(remaining), payload, hops});
+  forward_chain(ChainMsg{std::move(remaining), payload, hops, 0, parent_span});
 }
 
 void PastryNode::forward_chain(ChainMsg msg) {
   if (msg.hops >= config().max_route_hops) {
-    net_.registry().counter("pastry.chain_dropped").inc();
+    net_.hot().chain_dropped->inc();
+    if (auto* ts = net_.trace_sink()) {
+      const auto now = net_.sim().now();
+      ts->emit(hop_ref(msg.payload, msg.parent_span), SpanKind::kDrop, id_,
+               now, now, static_cast<std::uint64_t>(DropReason::kMaxHops),
+               msg.targets.size());
+    }
     return;
   }
   if (covers(msg.targets.front())) {
     run_chain(std::move(msg.targets), msg.payload, msg.hops,
-              /*initiator=*/false);
+              /*initiator=*/false, msg.parent_span);
     return;
   }
   const auto nh = next_hop(msg.targets.front());
   if (!nh) {
-    net_.registry().counter("pastry.chain_no_candidate").inc();
+    net_.hot().chain_no_candidate->inc();
+    if (auto* ts = net_.trace_sink()) {
+      const auto now = net_.sim().now();
+      ts->emit(hop_ref(msg.payload, msg.parent_span), SpanKind::kDrop, id_,
+               now, now,
+               static_cast<std::uint64_t>(DropReason::kNoCandidate),
+               msg.targets.size());
+    }
     return;
   }
   const MessageClass cls = msg.payload->message_class();
   ChainMsg out = std::move(msg);
   ++out.hops;
+  if (auto* ts = net_.trace_sink()) {
+    const auto now = net_.sim().now();
+    const std::uint64_t span =
+        ts->emit(hop_ref(out.payload, out.parent_span), SpanKind::kRouteHop,
+                 id_, now, now, out.targets.front(), out.hops);
+    if (span != 0) out.parent_span = span;
+  }
   transmit(*nh, std::move(out), cls);
 }
 
@@ -345,6 +463,7 @@ void PastryNode::send_to_predecessor(PayloadPtr payload) {
 // ---------------------------------------------------------------------------
 
 void PastryNode::receive(Key from, WireMessage msg) {
+  const logctx::ScopedNode log_node(id_);
   // Reliability: ack every seq-stamped message, then suppress
   // retransmits we already processed (the ack is re-sent — a duplicate
   // means our previous ack was lost in flight).
@@ -352,7 +471,14 @@ void PastryNode::receive(Key from, WireMessage msg) {
       seq != nullptr && *seq != 0) {
     transmit(from, AckMsg{*seq}, MessageClass::kControl);
     if (!seen_seqs_[from].insert(*seq).second) {
-      net_.registry().counter("pastry.dup_suppressed").inc();
+      net_.hot().dup_suppressed->inc();
+      if (auto* ts = net_.trace_sink()) {
+        if (const auto t = wire_ref(msg); t.sampled()) {
+          const auto now = net_.sim().now();
+          ts->emit(t, SpanKind::kDrop, id_, now, now,
+                   static_cast<std::uint64_t>(DropReason::kDuplicate));
+        }
+      }
       return;
     }
   }
@@ -364,11 +490,11 @@ void PastryNode::receive(Key from, WireMessage msg) {
           handle_route(std::move(m));
         } else if constexpr (std::is_same_v<T, McastMsg>) {
           run_mcast(std::move(m.targets), m.payload, m.hops,
-                    /*initiator=*/false);
+                    /*initiator=*/false, m.parent_span);
         } else if constexpr (std::is_same_v<T, ChainMsg>) {
           if (covers(m.targets.front())) {
             run_chain(std::move(m.targets), m.payload, m.hops,
-                      /*initiator=*/false);
+                      /*initiator=*/false, m.parent_span);
           } else {
             forward_chain(std::move(m));
           }

@@ -1,8 +1,11 @@
 #include "cbps/pubsub/audit.hpp"
 
 #include <algorithm>
+#include <iostream>
 #include <sstream>
 #include <unordered_set>
+
+#include "cbps/common/logging.hpp"
 
 namespace cbps::pubsub {
 
@@ -161,6 +164,13 @@ SystemAuditReport audit_system(PubSubSystem& system) {
         add_issue(report.issues, os.str());
       }
     }
+  }
+  if (!report.ok()) {
+    // The lines leading up to the violation are usually the story: dump
+    // the logger's recent-lines ring (kept even below the console level)
+    // next to the verdict.
+    std::cerr << "[audit] invariant violation; recent log lines:\n";
+    Logger::instance().dump_recent(std::cerr);
   }
   return report;
 }

@@ -7,6 +7,8 @@
 
 namespace cbps::pubsub {
 
+using metrics::DropReason;
+using metrics::SpanKind;
 using overlay::PayloadPtr;
 
 PubSubNode::PubSubNode(overlay::OverlayNode& overlay, sim::Simulator& sim,
@@ -51,6 +53,18 @@ void PubSubNode::subscribe(SubscriptionPtr sub, sim::SimTime ttl) {
   own_subs_[sub->id] = OwnSub{sub, expiry};
   auto msg = std::make_shared<SubscribeMsg>(
       sub, expiry, mapping_.subscription_ranges(*sub));
+  if (trace_ != nullptr && trace_->enabled()) {
+    if (const std::uint64_t tid = trace_->maybe_start_trace(); tid != 0) {
+      const auto now = sim_.now();
+      const std::uint64_t root = trace_->emit(
+          metrics::TraceRef{tid, 0}, SpanKind::kSubscribe, overlay_.id(),
+          now, now, sub->id, keys.size());
+      const std::uint64_t map_span = trace_->emit(
+          metrics::TraceRef{tid, root}, SpanKind::kMap, overlay_.id(), now,
+          now, keys.size());
+      msg->trace = metrics::TraceRef{tid, map_span};
+    }
+  }
   send_to_keys(keys, std::move(msg), cfg_.sub_transport);
 }
 
@@ -85,10 +99,22 @@ void PubSubNode::unsubscribe(SubscriptionId id) {
 void PubSubNode::publish(EventPtr event) {
   CBPS_ASSERT(event != nullptr && event->id != 0);
   const std::vector<Key> keys = mapping_.event_keys(*event);
-  send_to_keys(keys,
-               std::make_shared<PublishMsg>(event, overlay_.id(),
-                                            sim_.now()),
-               cfg_.pub_transport);
+  fanout_hist_.add(static_cast<double>(keys.size()));
+  auto msg =
+      std::make_shared<PublishMsg>(event, overlay_.id(), sim_.now());
+  if (trace_ != nullptr && trace_->enabled()) {
+    if (const std::uint64_t tid = trace_->maybe_start_trace(); tid != 0) {
+      const auto now = sim_.now();
+      const std::uint64_t root = trace_->emit(
+          metrics::TraceRef{tid, 0}, SpanKind::kPublish, overlay_.id(), now,
+          now, event->id, keys.size());
+      const std::uint64_t map_span = trace_->emit(
+          metrics::TraceRef{tid, root}, SpanKind::kMap, overlay_.id(), now,
+          now, keys.size());
+      msg->trace = metrics::TraceRef{tid, map_span};
+    }
+  }
+  send_to_keys(keys, std::move(msg), cfg_.pub_transport);
 }
 
 // ---------------------------------------------------------------------------
@@ -252,28 +278,48 @@ void PubSubNode::handle_publish(const PublishMsg& msg,
           return mapping_.should_notify(*rec->sub, *msg.event, k);
         });
     if (!responsible) continue;
-    route_match(*rec, msg.event, msg.published_at);
+    route_match(*rec, msg.event, msg.published_at, msg.trace);
   }
 }
 
 void PubSubNode::handle_notify(const NotifyMsg& msg) {
+  const sim::SimTime now = sim_.now();
   if (msg.subscriber != overlay_.id()) {
     // Notifications are routed by the subscriber's key, so when the
     // addressee is gone (crashed, or the ring moved mid-route) the
     // message lands on whoever now owns that key. Surfacing it here
     // would be a ghost delivery under the dead subscriber's identity.
     misdirected_notifies_ += msg.batch.size();
+    if (trace_ != nullptr) {
+      for (const Notification& n : msg.batch) {
+        if (!n.trace.sampled()) continue;
+        trace_->emit(n.trace, SpanKind::kDrop, overlay_.id(), now, now,
+                     static_cast<std::uint64_t>(DropReason::kMisdirected));
+      }
+    }
     return;
   }
   for (const Notification& n : msg.batch) {
     if (cfg_.duplicate_suppression &&
         !delivered_.emplace(n.event->id, n.subscription).second) {
       ++duplicates_suppressed_;
+      if (trace_ != nullptr && n.trace.sampled()) {
+        trace_->emit(n.trace, SpanKind::kDrop, overlay_.id(), now, now,
+                     static_cast<std::uint64_t>(DropReason::kDuplicate));
+      }
       continue;
     }
     ++notifications_received_;
-    notification_delay_.add(
-        sim::to_seconds(sim_.now() - n.published_at));
+    const double delay_s = sim::to_seconds(now - n.published_at);
+    notification_delay_.add(delay_s);
+    delay_hist_.add(delay_s);
+    if (trace_ != nullptr && n.trace.sampled()) {
+      // Instant at arrival — a span must not start before its parent
+      // (the notify send); the end-to-end latency is the distance to the
+      // trace's publish root (and lives in the delay histogram anyway).
+      trace_->emit(n.trace, SpanKind::kDeliver, overlay_.id(), now, now,
+                   n.subscription, n.event->id);
+    }
     if (sink_) sink_(msg.subscriber, n);
   }
 }
@@ -283,8 +329,9 @@ void PubSubNode::handle_notify(const NotifyMsg& msg) {
 // ---------------------------------------------------------------------------
 
 void PubSubNode::route_match(const SubscriptionStore::Record& rec,
-                             EventPtr event, sim::SimTime published_at) {
-  Notification n{std::move(event), rec.sub->id, published_at};
+                             EventPtr event, sim::SimTime published_at,
+                             metrics::TraceRef trace) {
+  Notification n{std::move(event), rec.sub->id, published_at, trace};
   const Key subscriber = rec.sub->subscriber;
 
   if (cfg_.collecting) {
@@ -303,14 +350,27 @@ void PubSubNode::route_match(const SubscriptionStore::Record& rec,
     buffer_notification(subscriber, std::move(n));
     return;
   }
+  if (trace_ != nullptr && n.trace.sampled()) {
+    const auto now = sim_.now();
+    const std::uint64_t span = trace_->emit(
+        n.trace, SpanKind::kNotify, overlay_.id(), now, now, subscriber, 1);
+    if (span != 0) n.trace.parent_span = span;
+  }
   ++notify_batches_sent_;
   ++notifications_sent_;
-  overlay_.send(subscriber, std::make_shared<NotifyMsg>(
-                                subscriber, std::vector<Notification>{
-                                                std::move(n)}));
+  auto out = std::make_shared<NotifyMsg>(
+      subscriber, std::vector<Notification>{std::move(n)});
+  out->trace = out->batch.front().trace;
+  overlay_.send(subscriber, std::move(out));
 }
 
 void PubSubNode::buffer_notification(Key subscriber, Notification n) {
+  if (trace_ != nullptr && n.trace.sampled()) {
+    const auto now = sim_.now();
+    const std::uint64_t span = trace_->emit(
+        n.trace, SpanKind::kBuffer, overlay_.id(), now, now, subscriber);
+    if (span != 0) n.trace.parent_span = span;
+  }
   notify_buffer_[subscriber].push_back(std::move(n));
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
@@ -326,13 +386,36 @@ void PubSubNode::flush_notify_buffer() {
     if (batch.empty()) continue;
     ++notify_batches_sent_;
     notifications_sent_ += batch.size();
-    overlay_.send(subscriber,
-                  std::make_shared<NotifyMsg>(subscriber, std::move(batch)));
+    if (trace_ != nullptr) {
+      const auto now = sim_.now();
+      for (Notification& n : batch) {
+        if (!n.trace.sampled()) continue;
+        const std::uint64_t span =
+            trace_->emit(n.trace, SpanKind::kNotify, overlay_.id(), now, now,
+                         subscriber, batch.size());
+        if (span != 0) n.trace.parent_span = span;
+      }
+    }
+    auto out = std::make_shared<NotifyMsg>(subscriber, std::move(batch));
+    for (const Notification& n : out->batch) {
+      if (n.trace.sampled()) {
+        out->trace = n.trace;  // overlay hop spans attach to one of them
+        break;
+      }
+    }
+    overlay_.send(subscriber, std::move(out));
   }
   notify_buffer_.clear();
 }
 
 void PubSubNode::enqueue_collect(CollectItem item) {
+  if (trace_ != nullptr && item.notification.trace.sampled()) {
+    const auto now = sim_.now();
+    const std::uint64_t span =
+        trace_->emit(item.notification.trace, SpanKind::kCollect,
+                     overlay_.id(), now, now, item.subscriber);
+    if (span != 0) item.notification.trace.parent_span = span;
+  }
   auto& queue =
       agent_toward_successor(item.range) ? collect_to_succ_ : collect_to_pred_;
   queue.push_back(std::move(item));
@@ -349,16 +432,25 @@ void PubSubNode::flush_collect_buffers() {
   // One message per direction regardless of how many subscriptions are
   // involved: "the cost of exchanging notifications between neighbor
   // nodes is amortized across all stored subscriptions" (§4.3.2).
-  if (!collect_to_succ_.empty()) {
-    overlay_.send_to_successor(
-        std::make_shared<CollectMsg>(std::move(collect_to_succ_)));
-    collect_to_succ_.clear();
-  }
-  if (!collect_to_pred_.empty()) {
-    overlay_.send_to_predecessor(
-        std::make_shared<CollectMsg>(std::move(collect_to_pred_)));
-    collect_to_pred_.clear();
-  }
+  const auto send_batch = [this](std::vector<CollectItem>& items,
+                                 bool to_successor) {
+    if (items.empty()) return;
+    auto out = std::make_shared<CollectMsg>(std::move(items));
+    items.clear();
+    for (const CollectItem& item : out->items) {
+      if (item.notification.trace.sampled()) {
+        out->trace = item.notification.trace;
+        break;
+      }
+    }
+    if (to_successor) {
+      overlay_.send_to_successor(std::move(out));
+    } else {
+      overlay_.send_to_predecessor(std::move(out));
+    }
+  };
+  send_batch(collect_to_succ_, /*to_successor=*/true);
+  send_batch(collect_to_pred_, /*to_successor=*/false);
 }
 
 void PubSubNode::handle_collect(const CollectMsg& msg) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cbps/sim/latency.hpp"
+#include "cbps/sim/loss.hpp"
 
 namespace cbps::pubsub {
 
@@ -21,6 +22,11 @@ PubSubSystem::PubSubSystem(SystemConfig cfg, Schema schema) : cfg_(cfg) {
   network_ = std::make_unique<chord::ChordNetwork>(
       sim_, cfg.chord, cfg.seed,
       std::make_unique<sim::FixedLatency>(cfg.message_delay));
+  if (cfg_.trace_sample_rate > 0.0) {
+    trace_sink_ =
+        std::make_unique<metrics::TraceSink>(cfg_.trace_sample_rate);
+    network_->set_trace_sink(trace_sink_.get());
+  }
 
   const std::size_t vppn = std::max<std::size_t>(1, cfg.virtual_nodes_per_host);
   hosts_ = std::max<std::size_t>(1, cfg.nodes / vppn);
@@ -43,6 +49,7 @@ PubSubSystem::PubSubSystem(SystemConfig cfg, Schema schema) : cfg_(cfg) {
   for (Key id : node_ids_) {
     nodes_.push_back(std::make_unique<PubSubNode>(
         *network_->node(id), sim_, *mapping_, cfg_.pubsub));
+    nodes_.back()->set_trace_sink(trace_sink_.get());
     host_of_.push_back(host_by_id.at(id));
   }
 }
@@ -85,7 +92,7 @@ PubSubSystem::StorageStats PubSubSystem::host_storage_stats() const {
   return s;
 }
 
-PubSubSystem::~PubSubSystem() = default;
+PubSubSystem::~PubSubSystem() { stop_sampler(); }
 
 std::size_t PubSubSystem::join_node(const std::string& name) {
   // Bootstrap from any alive member.
@@ -101,6 +108,7 @@ std::size_t PubSubSystem::join_node(const std::string& name) {
   CBPS_ASSERT_MSG(found, "need an alive node to bootstrap a join");
   chord::ChordNode& cn = network_->join_node(name, bootstrap);
   auto app = std::make_unique<PubSubNode>(cn, sim_, *mapping_, cfg_.pubsub);
+  app->set_trace_sink(trace_sink_.get());
   if (sink_) app->set_notify_sink(sink_);
   const auto pos = static_cast<std::size_t>(
       std::lower_bound(node_ids_.begin(), node_ids_.end(), cn.id()) -
@@ -245,6 +253,65 @@ RunningStat PubSubSystem::notification_delay() const {
   RunningStat total;
   for (const auto& node : nodes_) total.merge(node->notification_delay());
   return total;
+}
+
+metrics::Histogram PubSubSystem::delay_histogram() const {
+  metrics::Histogram total;
+  for (const auto& node : nodes_) total.merge(node->delay_histogram());
+  return total;
+}
+
+metrics::Histogram PubSubSystem::fanout_histogram() const {
+  metrics::Histogram total;
+  for (const auto& node : nodes_) total.merge(node->fanout_histogram());
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Time-series sampler
+// ---------------------------------------------------------------------------
+
+void PubSubSystem::sample_once() {
+  std::size_t pending_retries = 0;
+  std::size_t owned_max = 0;
+  std::size_t owned_sum = 0;
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!network_->is_alive(node_ids_[i])) continue;
+    ++alive;
+    pending_retries += network_->node(node_ids_[i])->pending_send_count();
+    const std::size_t owned = nodes_[i]->store().owned_size();
+    owned_sum += owned;
+    owned_max = std::max(owned_max, owned);
+  }
+  double ge_bad = 0.0;
+  if (const auto* ge = dynamic_cast<const sim::GilbertElliottLoss*>(
+          network_->loss_model())) {
+    ge_bad = ge->in_bad_state() ? 1.0 : 0.0;
+  }
+  series_.append(
+      sim_.now(),
+      {static_cast<double>(sim_.pending_events()),
+       static_cast<double>(pending_retries),
+       static_cast<double>(owned_max),
+       alive == 0 ? 0.0
+                  : static_cast<double>(owned_sum) /
+                        static_cast<double>(alive),
+       static_cast<double>(alive),
+       static_cast<double>(notifications_delivered()),
+       ge_bad});
+}
+
+void PubSubSystem::start_sampler(sim::SimTime period) {
+  if (sampler_timer_ != 0) return;
+  sample_once();  // baseline row at the current time
+  sampler_timer_ = sim_.add_timer(period, [this] { sample_once(); });
+}
+
+void PubSubSystem::stop_sampler() {
+  if (sampler_timer_ == 0) return;
+  sim_.cancel_timer(sampler_timer_);
+  sampler_timer_ = 0;
 }
 
 }  // namespace cbps::pubsub

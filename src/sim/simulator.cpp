@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "cbps/common/logging.hpp"
+
 namespace cbps::sim {
 
 namespace {
@@ -13,6 +15,12 @@ struct HeapGreater {
     return a > b;
   }
 };
+
+// Clock hook for log-line prefixes: installed once per dispatch loop
+// (not per event) so the hot path pays nothing.
+std::uint64_t log_clock_now_us(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now();
+}
 
 }  // namespace
 
@@ -124,12 +132,14 @@ bool Simulator::step() {
 }
 
 std::uint64_t Simulator::run(std::uint64_t max_events) {
+  const logctx::ScopedClock clock(this, &log_clock_now_us);
   std::uint64_t n = 0;
   while (n < max_events && step()) ++n;
   return n;
 }
 
 std::uint64_t Simulator::run_until(SimTime t) {
+  const logctx::ScopedClock clock(this, &log_clock_now_us);
   std::uint64_t n = 0;
   while (!heap_.empty()) {
     const HeapEntry& top = heap_.front();

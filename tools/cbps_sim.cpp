@@ -80,6 +80,10 @@ int main(int argc, char** argv) {
   std::int64_t seeds = 1;
   std::int64_t jobs = 0;
   std::string json_path;
+  std::string trace_path;
+  double trace_sample_rate = 0.0;
+  std::string metrics_json;
+  double sample_period_s = 0.0;
 
   FlagParser parser(
       "cbps_sim — content-based pub/sub over a simulated Chord overlay\n"
@@ -135,6 +139,18 @@ int main(int argc, char** argv) {
              "threads)", &jobs);
   parser.add("json", "dump per-run timings+metrics to this file",
              &json_path);
+  parser.add("trace", "write the causal message trace here (.jsonl = one "
+             "span per line; anything else = Chrome trace_event JSON for "
+             "Perfetto)", &trace_path);
+  parser.add("trace-sample-rate", "fraction of pub/sub roots traced "
+             "(default: 1.0 when --trace is set, else off)",
+             &trace_sample_rate);
+  parser.add("metrics-json", "dump counters, latency/hop histograms "
+             "(p50/p90/p99) and the time-series samples to this file",
+             &metrics_json);
+  parser.add("sample-period-s", "time-series sampler period in simulated "
+             "seconds (default: 1 when --metrics-json is set, else off)",
+             &sample_period_s);
   if (!parser.parse(argc, argv, std::cout, std::cerr)) return 1;
   if (verify && !replay_trace.empty()) {
     std::fprintf(stderr, "--verify cannot be combined with --replay-trace\n");
@@ -152,6 +168,17 @@ int main(int argc, char** argv) {
   if (seeds > 1 && !(save_trace.empty() && replay_trace.empty())) {
     std::fprintf(stderr,
                  "--seeds > 1 cannot be combined with trace save/replay\n");
+    return 1;
+  }
+  if (seeds > 1 && !(trace_path.empty() && metrics_json.empty())) {
+    // Every run would clobber the same output file.
+    std::fprintf(stderr,
+                 "--seeds > 1 cannot be combined with --trace/--metrics-json\n");
+    return 1;
+  }
+  if (trace_sample_rate < 0.0 || trace_sample_rate > 1.0) {
+    std::fprintf(stderr, "bad --trace-sample-rate: %g (want [0,1])\n",
+                 trace_sample_rate);
     return 1;
   }
 
@@ -187,6 +214,12 @@ int main(int argc, char** argv) {
   cfg.verify = verify;
   cfg.trace_save_path = save_trace;
   cfg.trace_replay_path = replay_trace;
+  cfg.trace_path = trace_path;
+  cfg.trace_sample_rate = trace_sample_rate;
+  cfg.metrics_json_path = metrics_json;
+  cfg.sample_period = sample_period_s > 0
+                          ? sim::from_seconds(sample_period_s)
+                          : 0;
   if (loss_rate < 0.0 || loss_rate >= 1.0) {
     std::fprintf(stderr, "bad --loss-rate: %g (want [0,1))\n", loss_rate);
     return 1;
@@ -278,6 +311,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.notifications_delivered));
   std::printf("  avg notification delay       %9.2fs\n",
               r.avg_notification_delay_s);
+  std::printf("  delay p50/p99/max            %.2fs / %.2fs / %.2fs\n",
+              r.delay_p50_s, r.delay_p99_s, r.delay_max_s);
+  std::printf("  route hops p50/p99           %.1f / %.1f\n", r.hops_p50,
+              r.hops_p99);
+  if (!trace_path.empty()) {
+    std::printf("trace: %llu traces, %llu spans -> %s\n",
+                static_cast<unsigned long long>(r.traces_started),
+                static_cast<unsigned long long>(r.trace_spans),
+                trace_path.c_str());
+  }
+  if (!metrics_json.empty()) {
+    std::printf("metrics: %s\n", metrics_json.c_str());
+  }
   if (cfg.loss_rate > 0.0) {
     std::printf("reliability (loss-rate %.3f, %u retries, base %.0fms):\n",
                 cfg.loss_rate, cfg.max_retries, retry_base_ms);

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Analyze a causal trace written by the cbps harness (--trace).
+
+Accepts both export formats:
+  * JSONL (one span per line, produced for ".jsonl" paths)
+  * Chrome trace_event JSON (everything else; the spans ride in each
+    event's "args" and the kind in its "name")
+
+Reports:
+  * span counts per kind and per-trace span statistics
+  * per-phase latency breakdown of completed traces (publish -> map ->
+    first/last route hop -> deliver)
+  * top-k hottest nodes by span count
+  * integrity checks: every span's parent must exist, belong to the same
+    trace, and start no later than its child; sampled publish traces must
+    terminate (deliver or drop span)
+
+Exit status 1 on any integrity violation (orphans, time-travel parents,
+unterminated publish traces), 0 otherwise.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_spans(path):
+    """Return a list of span dicts with the JSONL field names."""
+    with open(path, "r", encoding="utf-8") as f:
+        head = f.read(1)
+        f.seek(0)
+        if head == "{":
+            doc = json.load(f)
+            spans = []
+            for ev in doc.get("traceEvents", []):
+                args = ev.get("args", {})
+                if "span" not in args:
+                    continue
+                spans.append({
+                    "span": args["span"],
+                    "trace": args["trace"],
+                    "parent": args["parent"],
+                    "kind": ev["name"],
+                    "node": ev["tid"],
+                    "ts_us": ev["ts"],
+                    "end_us": ev["ts"] + ev.get("dur", 0),
+                    "a": args.get("a", 0),
+                    "b": args.get("b", 0),
+                })
+            return spans
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def check_integrity(spans):
+    """Yield human-readable violation strings."""
+    by_id = {s["span"]: s for s in spans}
+    for s in spans:
+        parent = s["parent"]
+        if parent == 0:
+            continue
+        p = by_id.get(parent)
+        if p is None:
+            yield (f"orphan: span {s['span']} ({s['kind']}) references "
+                   f"missing parent {parent}")
+            continue
+        if p["trace"] != s["trace"]:
+            yield (f"cross-trace parent: span {s['span']} (trace "
+                   f"{s['trace']}) -> parent {parent} (trace {p['trace']})")
+        if p["ts_us"] > s["ts_us"]:
+            yield (f"time-travel: span {s['span']} at {s['ts_us']}us starts "
+                   f"before parent {parent} at {p['ts_us']}us")
+
+    # Every publish-rooted trace must end in at least one deliver or drop.
+    # (A publish whose event matches nothing legitimately has neither, but
+    # then it has no notify/buffer/collect spans either.)
+    by_trace = collections.defaultdict(list)
+    for s in spans:
+        by_trace[s["trace"]].append(s)
+    for trace_id, members in sorted(by_trace.items()):
+        kinds = collections.Counter(m["kind"] for m in members)
+        if "publish" not in kinds:
+            continue
+        routed = kinds["notify"] + kinds["buffer"] + kinds["collect"]
+        terminated = kinds["deliver"] + kinds["drop"]
+        if routed > 0 and terminated == 0:
+            yield (f"unterminated: trace {trace_id} routed notifications "
+                   f"({dict(kinds)}) but has no deliver/drop span")
+
+
+def phase_breakdown(spans):
+    """Per-trace publish->deliver latency split into phases (us)."""
+    by_trace = collections.defaultdict(list)
+    for s in spans:
+        by_trace[s["trace"]].append(s)
+    rows = []
+    for members in by_trace.values():
+        kinds = collections.defaultdict(list)
+        for m in members:
+            kinds[m["kind"]].append(m)
+        if not kinds["publish"] or not kinds["deliver"]:
+            continue
+        start = min(m["ts_us"] for m in kinds["publish"])
+        hops = kinds["route-hop"]
+        first_hop = min((m["ts_us"] for m in hops), default=start)
+        last_hop = max((m["ts_us"] for m in hops), default=start)
+        done = max(m["end_us"] for m in kinds["deliver"])
+        rows.append({
+            "mapping_us": first_hop - start,
+            "routing_us": last_hop - first_hop,
+            "delivery_us": done - last_hop,
+            "total_us": done - start,
+            "hops": len(hops),
+        })
+    return rows
+
+
+def pct(values, p):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
+    return ordered[idx]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace file (.jsonl or Chrome JSON)")
+    ap.add_argument("--top", type=int, default=10,
+                    help="hottest nodes to list (default 10)")
+    ap.add_argument("--max-violations", type=int, default=20,
+                    help="violations to print before truncating")
+    args = ap.parse_args()
+
+    spans = load_spans(args.trace)
+    if not spans:
+        print("no spans found")
+        return 1
+
+    traces = {s["trace"] for s in spans}
+    print(f"{len(spans)} spans in {len(traces)} traces")
+
+    print("\nspans per kind:")
+    for kind, count in collections.Counter(
+            s["kind"] for s in spans).most_common():
+        print(f"  {kind:<12} {count}")
+
+    rows = phase_breakdown(spans)
+    if rows:
+        print(f"\nphase breakdown over {len(rows)} publish->deliver traces "
+              "(milliseconds):")
+        print(f"  {'phase':<10} {'p50':>8} {'p90':>8} {'p99':>8} {'max':>8}")
+        for phase in ("mapping_us", "routing_us", "delivery_us", "total_us"):
+            vals = [r[phase] for r in rows]
+            name = phase[:-3]
+            print(f"  {name:<10} "
+                  f"{pct(vals, 50) / 1000:>8.1f} {pct(vals, 90) / 1000:>8.1f} "
+                  f"{pct(vals, 99) / 1000:>8.1f} {max(vals) / 1000:>8.1f}")
+        hop_counts = [r["hops"] for r in rows]
+        print(f"  route hops per trace: p50={pct(hop_counts, 50)} "
+              f"p99={pct(hop_counts, 99)} max={max(hop_counts)}")
+
+    print(f"\ntop {args.top} hottest nodes by span count:")
+    per_node = collections.Counter(s["node"] for s in spans)
+    for node, count in per_node.most_common(args.top):
+        kinds = collections.Counter(
+            s["kind"] for s in spans if s["node"] == node)
+        top_kind, top_n = kinds.most_common(1)[0]
+        print(f"  node {node:<8} {count:>7} spans "
+              f"(mostly {top_kind}: {top_n})")
+
+    violations = list(check_integrity(spans))
+    if violations:
+        print(f"\nINTEGRITY: {len(violations)} violation(s)")
+        for v in violations[:args.max_violations]:
+            print(f"  {v}")
+        if len(violations) > args.max_violations:
+            print(f"  ... and {len(violations) - args.max_violations} more")
+        return 1
+    print("\nintegrity: OK (no orphaned spans, parents precede children, "
+          "routed traces terminate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
