@@ -57,8 +57,11 @@ struct ExperimentConfig {
   /// subscribers are the scenario under test, not a protocol bug.
   bool verify = false;
 
-  /// Matching engine at the rendezvous nodes.
-  pubsub::MatchEngine match_engine = pubsub::MatchEngine::kBruteForce;
+  /// Matching engine at the rendezvous nodes. The counting index is the
+  /// default: it returns exactly the brute-force match set (the
+  /// differential tests enforce this) at a per-event cost proportional
+  /// to satisfied constraints instead of stored subscriptions.
+  pubsub::MatchEngine match_engine = pubsub::MatchEngine::kCountingIndex;
 
   /// Subscription replication factor (§4.1).
   std::size_t replication_factor = 0;

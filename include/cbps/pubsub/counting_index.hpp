@@ -16,12 +16,13 @@
 #include <vector>
 
 #include "cbps/common/types.hpp"
+#include "cbps/pubsub/match_index.hpp"
 #include "cbps/pubsub/schema.hpp"
 #include "cbps/pubsub/subscription.hpp"
 
 namespace cbps::pubsub {
 
-class CountingIndex {
+class CountingIndex final : public MatchIndex {
  public:
   /// `buckets_per_attribute` trades insertion cost (an interval is
   /// registered in every bucket it overlaps) against stab precision.
@@ -29,15 +30,25 @@ class CountingIndex {
                          std::size_t buckets_per_attribute = 256);
 
   /// Register a subscription. Duplicate ids are rejected (no-op, false).
-  bool insert(const SubscriptionPtr& sub);
+  /// A subscription with a constraint range disjoint from its attribute
+  /// domain can never match; it is registered (so remove() and duplicate
+  /// detection behave) but gets no bucket entries — exactly the
+  /// brute-force engine's behaviour of never reporting it.
+  bool insert(const SubscriptionPtr& sub) override;
 
   /// Remove by id. Returns false if unknown.
-  bool remove(SubscriptionId id);
+  bool remove(SubscriptionId id) override;
 
   /// Ids of all registered subscriptions matching `e`, unordered.
   std::vector<SubscriptionId> match(const Event& e) const;
 
-  std::size_t size() const { return subs_.size(); }
+  void match_into(const Event& e,
+                  std::vector<SubscriptionId>& out) const override;
+
+  std::size_t size() const override { return subs_.size(); }
+
+  /// Heap footprint of the bucket/scratch structures in bytes.
+  std::size_t memory_bytes() const override;
 
  private:
   // Entries refer to subscriptions by a dense slot index so match() can

@@ -1,0 +1,44 @@
+// Pluggable rendezvous matching engines.
+//
+// SubscriptionStore delegates candidate generation to a MatchIndex when
+// one is installed (brute force is the null engine: the store scans its
+// records directly). Implementations must be *exact*: match() returns
+// precisely the ids of registered subscriptions matching the event — the
+// brute-force scan is the correctness oracle the differential tests
+// compare every engine against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cbps/common/types.hpp"
+#include "cbps/pubsub/event.hpp"
+#include "cbps/pubsub/subscription.hpp"
+
+namespace cbps::pubsub {
+
+class MatchIndex {
+ public:
+  virtual ~MatchIndex() = default;
+
+  /// Register a subscription. Duplicate ids are rejected (no-op, false).
+  virtual bool insert(const SubscriptionPtr& sub) = 0;
+
+  /// Remove by id. Returns false if unknown.
+  virtual bool remove(SubscriptionId id) = 0;
+
+  /// Append the ids of all registered subscriptions matching `e` to
+  /// `out` (unordered, no duplicates). `out` is not cleared.
+  virtual void match_into(const Event& e,
+                          std::vector<SubscriptionId>& out) const = 0;
+
+  /// Number of registered (logical) subscriptions.
+  virtual std::size_t size() const = 0;
+
+  /// Estimated heap footprint of the index structures in bytes
+  /// (buckets, entry vectors, bookkeeping maps — not the Subscription
+  /// objects themselves, which the store owns).
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+}  // namespace cbps::pubsub

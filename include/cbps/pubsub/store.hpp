@@ -11,11 +11,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "cbps/common/types.hpp"
 #include "cbps/pubsub/counting_index.hpp"
+#include "cbps/pubsub/covering_index.hpp"
+#include "cbps/pubsub/match_index.hpp"
 #include "cbps/pubsub/messages.hpp"
 #include "cbps/pubsub/subscription.hpp"
 #include "cbps/sim/time.hpp"
@@ -27,7 +31,13 @@ namespace cbps::pubsub {
 enum class MatchEngine {
   kBruteForce,     // linear scan (simple, the correctness oracle)
   kCountingIndex,  // per-attribute interval buckets (Fabret et al. [6])
+  kCoveringIndex,  // counting index + subscription covering/merging
 };
+
+const char* to_string(MatchEngine engine);
+/// Parse "brute" / "counting" / "covering"; returns std::nullopt on
+/// anything else.
+std::optional<MatchEngine> match_engine_from_string(std::string_view s);
 
 class SubscriptionStore {
  public:
@@ -45,10 +55,46 @@ class SubscriptionStore {
                           std::size_t buckets_per_attribute = 256) {
     CBPS_ASSERT_MSG(records_.empty(), "enable the index on an empty store");
     index_ = std::make_unique<CountingIndex>(schema, buckets_per_attribute);
+    engine_ = MatchEngine::kCountingIndex;
   }
 
-  MatchEngine engine() const {
-    return index_ ? MatchEngine::kCountingIndex : MatchEngine::kBruteForce;
+  /// Switch matching to the covering/merging engine (call before any
+  /// insert).
+  void use_covering_index(const Schema& schema, CoveringOptions opts = {}) {
+    CBPS_ASSERT_MSG(records_.empty(), "enable the index on an empty store");
+    index_ = std::make_unique<CoveringIndex>(schema, opts);
+    engine_ = MatchEngine::kCoveringIndex;
+  }
+
+  /// Install `engine` (no-op for kBruteForce; call before any insert).
+  void use_engine(MatchEngine engine, const Schema& schema) {
+    switch (engine) {
+      case MatchEngine::kBruteForce:
+        break;
+      case MatchEngine::kCountingIndex:
+        use_counting_index(schema);
+        break;
+      case MatchEngine::kCoveringIndex:
+        use_covering_index(schema);
+        break;
+    }
+  }
+
+  MatchEngine engine() const { return engine_; }
+
+  /// The installed index, or nullptr under brute force.
+  const MatchIndex* match_index() const { return index_.get(); }
+
+  /// Covering/merging statistics (nullptr unless kCoveringIndex).
+  const CoveringIndex* covering_index() const {
+    return engine_ == MatchEngine::kCoveringIndex
+               ? static_cast<const CoveringIndex*>(index_.get())
+               : nullptr;
+  }
+
+  /// Heap footprint of the match index in bytes (0 under brute force).
+  std::size_t index_memory_bytes() const {
+    return index_ ? index_->memory_bytes() : 0;
   }
 
   /// Insert or refresh. Returns true if the record is new — or if a
@@ -98,7 +144,8 @@ class SubscriptionStore {
 
   RecordMap records_;
   std::multimap<sim::SimTime, SubscriptionId> expiry_index_;
-  std::unique_ptr<CountingIndex> index_;  // null = brute force
+  std::unique_ptr<MatchIndex> index_;  // null = brute force
+  MatchEngine engine_ = MatchEngine::kBruteForce;
   std::size_t owned_ = 0;
   std::size_t peak_owned_ = 0;
 };

@@ -22,6 +22,9 @@ namespace cbps::pubsub {
 struct Constraint {
   std::size_t attribute = 0;
   ClosedInterval range;
+
+  friend constexpr bool operator==(const Constraint&,
+                                   const Constraint&) = default;
 };
 
 /// A conjunction of constraints, at most one per attribute. Attributes
@@ -41,6 +44,29 @@ struct Subscription {
   /// Constraint attributes are distinct, in-range for the schema, and
   /// ranges lie within the attribute domains.
   bool valid_for(const Schema& schema) const;
+
+  /// Structural validity only: constraint attributes are distinct and
+  /// in-range for the schema. Unlike valid_for, ranges may extend past
+  /// (or lie entirely outside) the attribute domains.
+  bool well_formed_for(const Schema& schema) const;
+
+  /// True when some event inside the schema's domains can satisfy every
+  /// constraint — i.e. no constraint range is disjoint from its
+  /// attribute domain. An unsatisfiable subscription never matches any
+  /// event; every match engine skips it.
+  bool satisfiable_for(const Schema& schema) const;
+
+  /// The constraint on `attr` clamped to the attribute domain, or the
+  /// whole domain when unconstrained ("effective interval"). Requires
+  /// satisfiable_for(schema).
+  ClosedInterval effective_interval(const Schema& schema,
+                                    std::size_t attr) const;
+
+  /// Subsumption: every event matching `other` also matches this
+  /// subscription (this' subspace contains other's, intervals compared
+  /// after clamping to the schema domains). Both subscriptions must be
+  /// satisfiable.
+  bool covers(const Schema& schema, const Subscription& other) const;
 
   /// Selectivity of the constraint on `attr`: r_i / |Omega_i|
   /// (1.0 when unconstrained). Lower is more selective.

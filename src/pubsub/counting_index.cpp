@@ -24,7 +24,8 @@ std::size_t CountingIndex::bucket_of(std::size_t attr, Value v) const {
 
 bool CountingIndex::insert(const SubscriptionPtr& sub) {
   CBPS_ASSERT(sub != nullptr);
-  CBPS_ASSERT_MSG(sub->valid_for(schema_), "subscription/schema mismatch");
+  CBPS_ASSERT_MSG(sub->well_formed_for(schema_),
+                  "subscription/schema mismatch");
   if (subs_.contains(sub->id)) return false;
 
   std::uint32_t dense;
@@ -38,6 +39,11 @@ bool CountingIndex::insert(const SubscriptionPtr& sub) {
   dense_[dense] = DenseInfo{
       sub->id, static_cast<std::uint32_t>(sub->constraints.size())};
   subs_.emplace(sub->id, SubInfo{sub, dense});
+
+  // A constraint disjoint from its domain makes the whole conjunction
+  // unsatisfiable: register the id but add no bucket entries, so the
+  // subscription never matches — consistent with the brute-force scan.
+  if (!sub->satisfiable_for(schema_)) return true;
 
   if (sub->constraints.empty()) {
     match_all_.push_back(sub->id);
@@ -64,6 +70,8 @@ bool CountingIndex::remove(SubscriptionId id) {
   dense_[dense] = DenseInfo{};
   free_dense_.push_back(dense);
 
+  if (!sub->satisfiable_for(schema_)) return true;  // had no entries
+
   if (sub->constraints.empty()) {
     std::erase(match_all_, id);
     return true;
@@ -82,6 +90,13 @@ bool CountingIndex::remove(SubscriptionId id) {
 }
 
 std::vector<SubscriptionId> CountingIndex::match(const Event& e) const {
+  std::vector<SubscriptionId> out;
+  match_into(e, out);
+  return out;
+}
+
+void CountingIndex::match_into(const Event& e,
+                               std::vector<SubscriptionId>& out) const {
   CBPS_ASSERT(e.values.size() == schema_.dimensions());
   ++epoch_;
   if (scratch_count_.size() < dense_.size()) {
@@ -104,15 +119,36 @@ std::vector<SubscriptionId> CountingIndex::match(const Event& e) const {
       }
     }
   }
-  std::vector<SubscriptionId> out;
-  out.reserve(match_all_.size() + scratch_touched_.size());
+  out.reserve(out.size() + match_all_.size() + scratch_touched_.size());
   out.insert(out.end(), match_all_.begin(), match_all_.end());
   for (const std::uint32_t dense : scratch_touched_) {
     if (scratch_count_[dense] == dense_[dense].constraint_count) {
       out.push_back(dense_[dense].id);
     }
   }
-  return out;
+}
+
+std::size_t CountingIndex::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& attr_buckets : buckets_) {
+    bytes += attr_buckets.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& bucket : attr_buckets) {
+      bytes += bucket.capacity() * sizeof(Entry);
+    }
+  }
+  bytes += match_all_.capacity() * sizeof(SubscriptionId);
+  // unordered_map: node (key/value + hash-next pointer) per element plus
+  // the bucket array.
+  bytes += subs_.size() *
+           (sizeof(std::pair<const SubscriptionId, SubInfo>) +
+            2 * sizeof(void*));
+  bytes += subs_.bucket_count() * sizeof(void*);
+  bytes += dense_.capacity() * sizeof(DenseInfo);
+  bytes += free_dense_.capacity() * sizeof(std::uint32_t);
+  bytes += scratch_count_.capacity() * sizeof(std::uint32_t);
+  bytes += scratch_epoch_.capacity() * sizeof(std::uint64_t);
+  bytes += scratch_touched_.capacity() * sizeof(std::uint32_t);
+  return bytes;
 }
 
 }  // namespace cbps::pubsub

@@ -1,0 +1,394 @@
+#include "cbps/pubsub/covering_index.hpp"
+
+#include <algorithm>
+
+namespace cbps::pubsub {
+namespace {
+
+// Umbrella ids live in their own half of the id space so they can never
+// collide with (or leak as) application subscription ids.
+constexpr SubscriptionId kSyntheticBit = SubscriptionId{1} << 63;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+ClosedInterval hull_of(const ClosedInterval& a, const ClosedInterval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+}  // namespace
+
+CoveringIndex::CoveringIndex(const Schema& schema, CoveringOptions opts)
+    : schema_(schema),
+      opts_(opts),
+      index_(schema, opts.buckets_per_attribute),
+      next_umbrella_id_(kSyntheticBit | 1) {
+  CBPS_ASSERT(opts_.max_children_per_root >= 2);
+}
+
+std::uint64_t CoveringIndex::signature(const Subscription& sub,
+                                       std::size_t free_attr) const {
+  // Hash the free attribute plus every *other* constrained attribute's
+  // clamped interval, in attribute order (constraint order in the
+  // subscription is arbitrary).
+  std::uint64_t h = fnv1a(kFnvOffset, free_attr);
+  for (std::size_t attr = 0; attr < schema_.dimensions(); ++attr) {
+    if (attr == free_attr) continue;
+    const Constraint* c = sub.constraint_on(attr);
+    if (c == nullptr) continue;
+    const ClosedInterval eff = sub.effective_interval(schema_, attr);
+    h = fnv1a(h, attr);
+    h = fnv1a(h, static_cast<std::uint64_t>(eff.lo));
+    h = fnv1a(h, static_cast<std::uint64_t>(eff.hi));
+  }
+  return h;
+}
+
+std::uint64_t CoveringIndex::merge_covered(
+    std::vector<ClosedInterval>& covered, ClosedInterval iv) {
+  // Insert preserving sort order, then coalesce overlapping/adjacent
+  // runs. Lists are tiny (<= max_children_per_root entries).
+  const auto pos = std::lower_bound(
+      covered.begin(), covered.end(), iv,
+      [](const ClosedInterval& a, const ClosedInterval& b) {
+        return a.lo < b.lo;
+      });
+  covered.insert(pos, iv);
+  std::vector<ClosedInterval> merged;
+  merged.reserve(covered.size());
+  for (const ClosedInterval& c : covered) {
+    if (!merged.empty() &&
+        (c.lo <= merged.back().hi ||
+         static_cast<std::uint64_t>(c.lo - merged.back().hi) == 1)) {
+      merged.back().hi = std::max(merged.back().hi, c.hi);
+    } else {
+      merged.push_back(c);
+    }
+  }
+  covered = std::move(merged);
+  return covered_width(covered);
+}
+
+std::uint64_t CoveringIndex::covered_width(
+    const std::vector<ClosedInterval>& covered) {
+  std::uint64_t w = 0;
+  for (const ClosedInterval& c : covered) w += c.width();
+  return w;
+}
+
+bool CoveringIndex::insert(const SubscriptionPtr& sub) {
+  if (!insert_internal(sub)) return false;
+  ++logical_size_;
+  return true;
+}
+
+bool CoveringIndex::insert_internal(const SubscriptionPtr& sub) {
+  CBPS_ASSERT(sub != nullptr);
+  CBPS_ASSERT_MSG(sub->well_formed_for(schema_),
+                  "subscription/schema mismatch");
+  CBPS_ASSERT_MSG((sub->id & kSyntheticBit) == 0,
+                  "application subscription id collides with umbrella ids");
+  if (roots_.contains(sub->id) || parent_of_.contains(sub->id) ||
+      inert_.contains(sub->id)) {
+    return false;
+  }
+  if (!sub->satisfiable_for(schema_)) {
+    // Can never match any event; hold it only for remove()/duplicate
+    // bookkeeping, exactly like the other engines skip it.
+    inert_.emplace(sub->id, sub);
+    return true;
+  }
+  if (try_cover(sub)) return true;
+  if (try_merge(sub)) return true;
+  add_root(sub);
+  return true;
+}
+
+bool CoveringIndex::try_cover(const SubscriptionPtr& sub) {
+  // Any root covering `sub` must match every point of sub's subspace, so
+  // probing the index with one such point yields a candidate superset.
+  Event probe;
+  probe.id = 0;
+  probe.values.reserve(schema_.dimensions());
+  for (std::size_t attr = 0; attr < schema_.dimensions(); ++attr) {
+    probe.values.push_back(sub->effective_interval(schema_, attr).lo);
+  }
+  scratch_ids_.clear();
+  index_.match_into(probe, scratch_ids_);
+  std::size_t tested = 0;
+  for (const SubscriptionId root_id : scratch_ids_) {
+    if (tested++ >= opts_.max_cover_candidates) break;
+    RootInfo& info = roots_.at(root_id);
+    if (info.children.size() >= opts_.max_children_per_root) continue;
+    if (!info.sub->covers(schema_, *sub)) continue;
+    info.children.push_back(sub);
+    parent_of_.emplace(sub->id, root_id);
+    if (info.umbrella) {
+      // The child lies inside the hull; folding its interval in can only
+      // shrink the uncovered (false-positive) fraction.
+      merge_covered(info.covered,
+                    sub->effective_interval(schema_, info.free_attr));
+    }
+    return true;
+  }
+  return false;
+}
+
+bool CoveringIndex::try_merge(const SubscriptionPtr& sub) {
+  // Look for a root identical to `sub` on every constrained attribute
+  // but one ("the free attribute"), then group both under an umbrella
+  // whose free-attribute interval is the hull.
+  auto same_except = [&](const Subscription& a, const Subscription& b,
+                         std::size_t free_attr) {
+    for (std::size_t attr = 0; attr < schema_.dimensions(); ++attr) {
+      const Constraint* ca = a.constraint_on(attr);
+      const Constraint* cb = b.constraint_on(attr);
+      if ((ca == nullptr) != (cb == nullptr)) return false;
+      if (ca == nullptr) continue;
+      if (attr == free_attr) continue;
+      if (a.effective_interval(schema_, attr) !=
+          b.effective_interval(schema_, attr)) {
+        return false;
+      }
+    }
+    return a.constraint_on(free_attr) != nullptr &&
+           b.constraint_on(free_attr) != nullptr;
+  };
+
+  for (const Constraint& c : sub->constraints) {
+    const std::size_t free_attr = c.attribute;
+    const std::uint64_t sig = signature(*sub, free_attr);
+    const auto mit = merge_map_.find(sig);
+    if (mit == merge_map_.end()) continue;
+    const ClosedInterval sub_iv = sub->effective_interval(schema_, free_attr);
+    std::size_t tested = 0;
+    for (const SubscriptionId root_id : mit->second) {
+      if (tested++ >= opts_.max_merge_candidates) break;
+      RootInfo& info = roots_.at(root_id);
+      if (info.umbrella && info.free_attr != free_attr) continue;
+      if (!same_except(*info.sub, *sub, free_attr)) continue;
+
+      const ClosedInterval root_iv =
+          info.sub->effective_interval(schema_, free_attr);
+      const ClosedInterval hull = hull_of(root_iv, sub_iv);
+      std::vector<ClosedInterval> covered =
+          info.umbrella ? info.covered
+                        : std::vector<ClosedInterval>{root_iv};
+      const std::uint64_t union_w = merge_covered(covered, sub_iv);
+      const double fp =
+          1.0 - static_cast<double>(union_w) /
+                    static_cast<double>(hull.width());
+      if (fp > opts_.merge_fp_budget) continue;
+
+      if (info.umbrella) {
+        if (info.children.size() >= opts_.max_children_per_root) continue;
+        if (hull != root_iv) {
+          // The hull grew: rebuild the umbrella subscription (same id,
+          // new interval) and re-register its bucket entries.
+          auto grown = std::make_shared<Subscription>(*info.sub);
+          for (Constraint& gc : grown->constraints) {
+            if (gc.attribute == free_attr) gc.range = hull;
+          }
+          index_.remove(root_id);
+          index_.insert(grown);
+          info.sub = std::move(grown);
+        }
+        info.covered = std::move(covered);
+        info.children.push_back(sub);
+        parent_of_.emplace(sub->id, root_id);
+        return true;
+      }
+
+      // Real root: demote it (and its covered children) under a fresh
+      // umbrella spanning the hull.
+      if (info.children.size() + 2 > opts_.max_children_per_root) continue;
+      auto umbrella = std::make_shared<Subscription>();
+      umbrella->id = next_umbrella_id_++;
+      umbrella->subscriber = 0;
+      for (std::size_t attr = 0; attr < schema_.dimensions(); ++attr) {
+        if (info.sub->constraint_on(attr) == nullptr) continue;
+        umbrella->constraints.push_back(
+            {attr, attr == free_attr
+                       ? hull
+                       : info.sub->effective_interval(schema_, attr)});
+      }
+
+      RootInfo uinfo;
+      uinfo.sub = umbrella;
+      uinfo.umbrella = true;
+      uinfo.free_attr = free_attr;
+      uinfo.covered = std::move(covered);
+      uinfo.children = std::move(info.children);
+      uinfo.children.push_back(info.sub);
+      uinfo.children.push_back(sub);
+
+      remove_root_entry(root_id, info);
+      roots_.erase(root_id);
+      for (const SubscriptionPtr& child : uinfo.children) {
+        parent_of_[child->id] = umbrella->id;
+      }
+      index_.insert(umbrella);
+      auto [uit, inserted] = roots_.emplace(umbrella->id, std::move(uinfo));
+      CBPS_ASSERT(inserted);
+      register_sigs(umbrella->id, uit->second);
+      ++umbrella_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CoveringIndex::add_root(const SubscriptionPtr& sub) {
+  index_.insert(sub);
+  auto [it, inserted] = roots_.emplace(sub->id, RootInfo{});
+  CBPS_ASSERT(inserted);
+  it->second.sub = sub;
+  register_sigs(sub->id, it->second);
+}
+
+void CoveringIndex::register_sigs(SubscriptionId id, RootInfo& info) {
+  // Umbrellas only ever merge on their free attribute; real roots can
+  // merge on any constrained attribute.
+  info.sigs.clear();
+  if (info.umbrella) {
+    info.sigs.push_back(signature(*info.sub, info.free_attr));
+  } else {
+    for (const Constraint& c : info.sub->constraints) {
+      info.sigs.push_back(signature(*info.sub, c.attribute));
+    }
+  }
+  for (const std::uint64_t sig : info.sigs) {
+    merge_map_[sig].push_back(id);
+  }
+}
+
+void CoveringIndex::unregister_sigs(SubscriptionId id,
+                                    const RootInfo& info) {
+  for (const std::uint64_t sig : info.sigs) {
+    const auto it = merge_map_.find(sig);
+    if (it == merge_map_.end()) continue;
+    std::erase(it->second, id);
+    if (it->second.empty()) merge_map_.erase(it);
+  }
+}
+
+void CoveringIndex::remove_root_entry(SubscriptionId id, RootInfo& info) {
+  index_.remove(id);
+  unregister_sigs(id, info);
+}
+
+void CoveringIndex::promote_children(
+    std::vector<SubscriptionPtr> children) {
+  // Expansion: re-admit each orphan through the full insert path so it
+  // can be re-covered, merged, or become a root of its own.
+  for (SubscriptionPtr& child : children) {
+    const bool ok = insert_internal(std::move(child));
+    CBPS_ASSERT_MSG(ok, "orphaned child failed to re-insert");
+  }
+}
+
+bool CoveringIndex::remove(SubscriptionId id) {
+  if (inert_.erase(id) > 0) {
+    --logical_size_;
+    return true;
+  }
+
+  const auto pit = parent_of_.find(id);
+  if (pit != parent_of_.end()) {
+    const SubscriptionId parent_id = pit->second;
+    parent_of_.erase(pit);
+    RootInfo& parent = roots_.at(parent_id);
+    std::erase_if(parent.children, [id](const SubscriptionPtr& c) {
+      return c->id == id;
+    });
+    --logical_size_;
+    if (parent.umbrella) {
+      if (parent.children.size() < 2) {
+        // One member left: the umbrella earns nothing — dissolve it.
+        std::vector<SubscriptionPtr> orphans =
+            std::move(parent.children);
+        remove_root_entry(parent_id, parent);
+        roots_.erase(parent_id);
+        --umbrella_count_;
+        for (const SubscriptionPtr& c : orphans) {
+          parent_of_.erase(c->id);
+        }
+        promote_children(std::move(orphans));
+      } else {
+        // Recompute the member-coverage union the removed interval may
+        // have been carrying.
+        parent.covered.clear();
+        for (const SubscriptionPtr& c : parent.children) {
+          merge_covered(parent.covered,
+                        c->effective_interval(schema_, parent.free_attr));
+        }
+      }
+    }
+    return true;
+  }
+
+  const auto rit = roots_.find(id);
+  if (rit == roots_.end() || rit->second.umbrella) return false;
+  std::vector<SubscriptionPtr> orphans = std::move(rit->second.children);
+  remove_root_entry(id, rit->second);
+  roots_.erase(rit);
+  for (const SubscriptionPtr& c : orphans) parent_of_.erase(c->id);
+  --logical_size_;
+  promote_children(std::move(orphans));
+  return true;
+}
+
+void CoveringIndex::match_into(const Event& e,
+                               std::vector<SubscriptionId>& out) const {
+  scratch_ids_.clear();
+  index_.match_into(e, scratch_ids_);
+  for (const SubscriptionId root_id : scratch_ids_) {
+    const RootInfo& info = roots_.at(root_id);
+    // A real root hit is exact (the counting index checks the original
+    // ranges); an umbrella hit is only a candidate and is never
+    // reported itself.
+    if (!info.umbrella) out.push_back(root_id);
+    for (const SubscriptionPtr& child : info.children) {
+      if (child->matches(e)) out.push_back(child->id);
+    }
+  }
+}
+
+std::size_t CoveringIndex::memory_bytes() const {
+  std::size_t bytes = index_.memory_bytes();
+  bytes += roots_.size() *
+           (sizeof(std::pair<const SubscriptionId, RootInfo>) +
+            2 * sizeof(void*));
+  bytes += roots_.bucket_count() * sizeof(void*);
+  for (const auto& [_, info] : roots_) {
+    bytes += info.children.capacity() * sizeof(SubscriptionPtr);
+    bytes += info.covered.capacity() * sizeof(ClosedInterval);
+    bytes += info.sigs.capacity() * sizeof(std::uint64_t);
+  }
+  bytes += parent_of_.size() *
+           (sizeof(std::pair<const SubscriptionId, SubscriptionId>) +
+            2 * sizeof(void*));
+  bytes += parent_of_.bucket_count() * sizeof(void*);
+  bytes += inert_.size() *
+           (sizeof(std::pair<const SubscriptionId, SubscriptionPtr>) +
+            2 * sizeof(void*));
+  bytes += merge_map_.size() *
+           (sizeof(std::pair<const std::uint64_t,
+                             std::vector<SubscriptionId>>) +
+            2 * sizeof(void*));
+  for (const auto& [_, ids] : merge_map_) {
+    bytes += ids.capacity() * sizeof(SubscriptionId);
+  }
+  bytes += merge_map_.bucket_count() * sizeof(void*);
+  bytes += scratch_ids_.capacity() * sizeof(SubscriptionId);
+  return bytes;
+}
+
+}  // namespace cbps::pubsub

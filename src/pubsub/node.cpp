@@ -14,9 +14,7 @@ using overlay::PayloadPtr;
 PubSubNode::PubSubNode(overlay::OverlayNode& overlay, sim::Simulator& sim,
                        const AkMapping& mapping, PubSubConfig cfg)
     : overlay_(overlay), sim_(sim), mapping_(mapping), cfg_(cfg) {
-  if (cfg_.match_engine == MatchEngine::kCountingIndex) {
-    store_.use_counting_index(mapping_.schema());
-  }
+  store_.use_engine(cfg_.match_engine, mapping_.schema());
   overlay_.set_app(this);
 }
 

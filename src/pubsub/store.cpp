@@ -2,6 +2,25 @@
 
 namespace cbps::pubsub {
 
+const char* to_string(MatchEngine engine) {
+  switch (engine) {
+    case MatchEngine::kBruteForce:
+      return "brute";
+    case MatchEngine::kCountingIndex:
+      return "counting";
+    case MatchEngine::kCoveringIndex:
+      return "covering";
+  }
+  return "?";
+}
+
+std::optional<MatchEngine> match_engine_from_string(std::string_view s) {
+  if (s == "brute") return MatchEngine::kBruteForce;
+  if (s == "counting") return MatchEngine::kCountingIndex;
+  if (s == "covering") return MatchEngine::kCoveringIndex;
+  return std::nullopt;
+}
+
 void SubscriptionStore::index_expiry(SubscriptionId id, sim::SimTime at) {
   if (at == sim::kSimTimeNever) return;
   expiry_index_.emplace(at, id);
@@ -46,6 +65,17 @@ bool SubscriptionStore::insert(const Record& record) {
     existing.expires_at = record.expires_at;
     index_expiry(it->first, existing.expires_at);
   }
+  // A re-subscription can carry different constraints under the same id
+  // (the subscriber upgraded its filter): the index entries and the
+  // stored pointer must follow, or the indexed engines keep matching the
+  // stale constraints and silently diverge from brute force.
+  if (existing.sub != record.sub) {
+    if (index_ && existing.sub->constraints != record.sub->constraints) {
+      index_->remove(it->first);
+      index_->insert(record.sub);
+    }
+    existing.sub = record.sub;
+  }
   existing.ranges = record.ranges;
   if (existing.replica && !record.replica) {
     existing.replica = false;
@@ -87,7 +117,8 @@ std::vector<const SubscriptionStore::Record*> SubscriptionStore::match(
     const Event& e, sim::SimTime now) const {
   std::vector<const Record*> out;
   if (index_) {
-    const std::vector<SubscriptionId> ids = index_->match(e);
+    std::vector<SubscriptionId> ids;
+    index_->match_into(e, ids);
     out.reserve(ids.size());
     for (SubscriptionId id : ids) {
       const auto it = records_.find(id);

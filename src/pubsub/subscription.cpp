@@ -40,6 +40,47 @@ bool Subscription::valid_for(const Schema& schema) const {
   return true;
 }
 
+bool Subscription::well_formed_for(const Schema& schema) const {
+  std::set<std::size_t> seen;
+  for (const Constraint& c : constraints) {
+    if (c.attribute >= schema.dimensions()) return false;
+    if (!seen.insert(c.attribute).second) return false;  // duplicate attr
+  }
+  return true;
+}
+
+bool Subscription::satisfiable_for(const Schema& schema) const {
+  return std::all_of(
+      constraints.begin(), constraints.end(), [&](const Constraint& c) {
+        return c.attribute < schema.dimensions() &&
+               c.range.overlaps(schema.domain(c.attribute));
+      });
+}
+
+ClosedInterval Subscription::effective_interval(const Schema& schema,
+                                                std::size_t attr) const {
+  const ClosedInterval& dom = schema.domain(attr);
+  const Constraint* c = constraint_on(attr);
+  if (c == nullptr) return dom;
+  const auto clamped = c->range.intersect(dom);
+  CBPS_ASSERT_MSG(clamped.has_value(),
+                  "effective_interval on unsatisfiable constraint");
+  return *clamped;
+}
+
+bool Subscription::covers(const Schema& schema,
+                          const Subscription& other) const {
+  // Only our own constraints can exclude events; attributes we leave
+  // unconstrained span the whole domain and contain anything.
+  for (const Constraint& c : constraints) {
+    const ClosedInterval mine = effective_interval(schema, c.attribute);
+    const ClosedInterval theirs =
+        other.effective_interval(schema, c.attribute);
+    if (theirs.lo < mine.lo || theirs.hi > mine.hi) return false;
+  }
+  return true;
+}
+
 double Subscription::selectivity(const Schema& schema,
                                  std::size_t attr) const {
   const Constraint* c = constraint_on(attr);

@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   std::int64_t replication = 0;
   double ttl_s = 0.0;  // 0 = never expire
   bool counting_index = false;
+  std::string match_engine = "brute";
   bool verify = false;
   std::string save_trace;
   std::string replay_trace;
@@ -115,8 +116,12 @@ int main(int argc, char** argv) {
              &replication);
   parser.add("ttl-s", "subscription expiration in seconds (0 = never)",
              &ttl_s);
-  parser.add("counting-index", "use the counting matcher at rendezvous",
+  parser.add("counting-index", "use the counting matcher at rendezvous "
+             "(shorthand for --match-engine counting)",
              &counting_index);
+  parser.add("match-engine",
+             "rendezvous matching engine: brute | counting | covering",
+             &match_engine);
   parser.add("verify", "check exactly-once delivery at the end", &verify);
   parser.add("save-trace", "record the workload to this file", &save_trace);
   parser.add("replay-trace", "replay a recorded workload from this file",
@@ -209,8 +214,15 @@ int main(int argc, char** argv) {
   cfg.buffer_period = sim::from_seconds(buffer_period_s);
   cfg.replication_factor = static_cast<std::size_t>(replication);
   cfg.sub_ttl = ttl_s > 0 ? sim::from_seconds(ttl_s) : sim::kSimTimeNever;
+  const auto engine = pubsub::match_engine_from_string(match_engine);
+  if (!engine) {
+    std::fprintf(stderr,
+                 "bad --match-engine: %s (want brute|counting|covering)\n",
+                 match_engine.c_str());
+    return 1;
+  }
   cfg.match_engine = counting_index ? pubsub::MatchEngine::kCountingIndex
-                                    : pubsub::MatchEngine::kBruteForce;
+                                    : *engine;
   cfg.verify = verify;
   cfg.trace_save_path = save_trace;
   cfg.trace_replay_path = replay_trace;
