@@ -98,7 +98,8 @@ bench::JsonFields metrics_fields(const Row& r) {
           {"post_heal_rate", r.post_heal_rate}};
 }
 
-Row run(const Scenario& sc, pubsub::MappingKind mapping) {
+Row run(const Scenario& sc, pubsub::MappingKind mapping,
+        std::size_t sim_threads) {
   std::string error;
   const auto script = workload::FaultScript::parse(sc.script, &error);
   CBPS_ASSERT_MSG(script.has_value(), "bad scenario script");
@@ -112,6 +113,7 @@ Row run(const Scenario& sc, pubsub::MappingKind mapping) {
   cfg.mapping = mapping;
   cfg.pubsub.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
   cfg.pubsub.replication_factor = 2;
+  cfg.sim_threads = sim_threads;
   pubsub::PubSubSystem system(cfg, pubsub::Schema::uniform(3, 99'999));
   system.network().start_maintenance_all();
 
@@ -212,7 +214,9 @@ int main(int argc, char** argv) {
   for (const Scenario& sc : kScenarios) {
     for (const auto mapping : mappings) {
       sweep.add(std::string(sc.label) + "/" + mapping_tag(mapping),
-                [&sc, mapping] { return run(sc, mapping); });
+                [&sc, mapping, st = sweep.options().sim_threads] {
+                  return run(sc, mapping, st);
+                });
     }
   }
 

@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
         cfg.subscriptions = 25'000;
         cfg.publications = 0;
         cfg.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
+        // Inject back-to-back: the stored-subscription peak is identical
+        // (no publications, no expiry) and the dense event population is
+        // what the sharded engine's scaling sweep measures.
+        cfg.sub_interval = 0;
         sweep.add(mapping_label(mapping) + "/sel" +
                       std::to_string(selective) + "/n=" + std::to_string(n),
                   cfg);

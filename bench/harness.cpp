@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cbps/common/assert.hpp"
+#include "cbps/sim/parallel_simulator.hpp"
 #include "cbps/workload/driver.hpp"
 #include "cbps/workload/fault_script.hpp"
 #include "cbps/workload/trace.hpp"
@@ -100,6 +101,11 @@ void write_metrics_json(const std::string& path,
       {"retries_p99", r.retries_p99},
       {"traces_started", static_cast<double>(r.traces_started)},
       {"trace_spans", static_cast<double>(r.trace_spans)},
+      {"sim_threads", static_cast<double>(r.sim_threads)},
+      {"sim_stale_entries_skipped",
+       static_cast<double>(r.sim_stale_entries_skipped)},
+      {"sim_heap_compactions",
+       static_cast<double>(r.sim_heap_compactions)},
   };
   first = true;
   for (const auto& [name, v] : summary) {
@@ -118,8 +124,7 @@ void write_metrics_json(const std::string& path,
   os << "\n}\n";
 }
 
-void write_trace_file(const std::string& path,
-                      const metrics::TraceSink& sink) {
+void write_trace_file(const std::string& path, metrics::TraceSink& sink) {
   std::ofstream os(path);
   CBPS_ASSERT_MSG(os.good(), "cannot write --trace output file");
   const bool jsonl =
@@ -132,6 +137,15 @@ void write_trace_file(const std::string& path,
 }
 
 }  // namespace
+
+std::unique_ptr<sim::SimulatorBase> make_engine(std::size_t threads,
+                                                sim::SimTime lookahead) {
+  if (threads > 1 && lookahead > 0) {
+    return std::make_unique<sim::ParallelSimulator>(
+        static_cast<unsigned>(threads), lookahead);
+  }
+  return std::make_unique<sim::Simulator>();
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   std::string fs_error;
@@ -156,6 +170,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.chord.max_retries = cfg.max_retries;
   sys_cfg.chord.retry_base = cfg.retry_base;
   sys_cfg.chord.force_reliable = fault_script->needs_reliable_transport();
+  sys_cfg.sim_threads = cfg.sim_threads;
   // An output path without an explicit rate means "trace everything".
   sys_cfg.trace_sample_rate = cfg.trace_sample_rate > 0.0
                                   ? cfg.trace_sample_rate
@@ -317,7 +332,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   r.fanout_p50 = fanout_hist.p50();
   r.fanout_p99 = fanout_hist.p99();
   r.retries_p99 = reg_mut.histogram("chord.retries_per_send").p99();
-  if (const metrics::TraceSink* sink = system.trace_sink()) {
+  if (metrics::TraceSink* sink = system.trace_sink()) {
     r.traces_started = sink->traces_started();
     r.trace_spans = sink->spans().size();
   }
@@ -332,6 +347,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   r.fault_crashes = faults ? faults->crashes() : 0;
 
   r.sim_events = system.sim().events_processed();
+  r.sim_threads = system.sim().thread_count();
+  r.sim_stale_entries_skipped = system.sim().stale_entries_skipped();
+  r.sim_heap_compactions = system.sim().heap_compactions();
 
   if (cfg.verify) {
     // A fault run is judged on the publications issued after every fault

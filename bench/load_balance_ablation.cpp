@@ -44,7 +44,8 @@ JsonFields metrics_fields(const Row& r) {
           {"hops_p99", r.hops_p99}};
 }
 
-Row run(std::size_t hosts, std::size_t virtuals) {
+Row run(std::size_t hosts, std::size_t virtuals,
+        std::size_t sim_threads) {
   pubsub::SystemConfig sys_cfg;
   sys_cfg.nodes = hosts * virtuals;
   sys_cfg.virtual_nodes_per_host = virtuals;
@@ -52,6 +53,7 @@ Row run(std::size_t hosts, std::size_t virtuals) {
   sys_cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
   sys_cfg.pubsub.sub_transport =
       pubsub::PubSubConfig::Transport::kMulticast;
+  sys_cfg.sim_threads = sim_threads;
   pubsub::PubSubSystem system(sys_cfg,
                               pubsub::Schema::uniform(4, 1'000'000));
 
@@ -94,7 +96,9 @@ int main(int argc, char** argv) {
   const std::size_t virtuals[] = {1, 2, 4, 8};
   for (const std::size_t v : virtuals) {
     sweep.add("virtuals=" + std::to_string(v),
-              [v] { return run(250, v); });
+              [v, st = sweep.options().sim_threads] {
+                return run(250, v, st);
+              });
   }
 
   std::puts("=== Load-balance ablation: virtual nodes per host ===");

@@ -28,7 +28,7 @@ namespace cbps::chord {
 
 class ChordNetwork {
  public:
-  ChordNetwork(sim::Simulator& sim, ChordConfig cfg, std::uint64_t seed,
+  ChordNetwork(sim::SimulatorBase& sim, ChordConfig cfg, std::uint64_t seed,
                std::unique_ptr<sim::LatencyModel> latency = nullptr);
   ~ChordNetwork();
 
@@ -84,10 +84,17 @@ class ChordNetwork {
   double slow_factor(Key id) const;
 
   /// Swap the in-flight loss model at runtime (nullptr = lossless).
-  /// Keeps the dedicated loss RNG stream, so installing and later
+  /// The model is a *prototype*: every node keeps its own clone as its
+  /// sender-side channel, drawn from its own loss RNG stream, so loss
+  /// decisions are a function of the sender's transmission history alone
+  /// — independent of the engine's shard count. Installing and later
   /// removing a model never perturbs latency or topology sampling.
   void set_loss_model(std::unique_ptr<sim::LossModel> model);
   sim::LossModel* loss_model() { return loss_.get(); }
+
+  /// Number of alive senders whose Gilbert–Elliott channel is currently
+  /// in the Bad state (0 when another/no loss model is installed).
+  std::size_t loss_bad_state_count() const;
 
   // --- lookup / iteration ------------------------------------------------
   bool is_alive(Key id) const;
@@ -124,7 +131,7 @@ class ChordNetwork {
   void self_deliver(std::function<void()> action);
 
   // --- environment ---------------------------------------------------------
-  sim::Simulator& sim() { return sim_; }
+  sim::SimulatorBase& sim() { return sim_; }
   Rng& rng() { return rng_; }
   overlay::TrafficStats& traffic() { return traffic_; }
   const overlay::TrafficStats& traffic() const { return traffic_; }
@@ -158,6 +165,7 @@ class ChordNetwork {
     metrics::Counter* net_partition_refused;
     metrics::Counter* net_partition_dropped;
     metrics::Counter* net_lost;
+    metrics::Counter* join_retry;
     std::array<metrics::Counter*, overlay::kMessageClassCount>
         net_lost_by_class;
     metrics::Histogram* route_hops;       // hops of completed app routes
@@ -167,12 +175,27 @@ class ChordNetwork {
   HotStats& hot() { return hot_; }
 
  private:
-  sim::Simulator& sim_;
+  // Per-sender wire state: every node draws its latency and loss
+  // decisions from its own RNG streams (seeded from the run seed and the
+  // node id) and owns a clone of the loss-model prototype. This makes
+  // every wire draw a pure function of the sender's own transmission
+  // history, which is what lets the parallel engine transmit from many
+  // shards concurrently while staying bit-identical to the serial run:
+  // a single shared stream would be consumed in wall-clock order.
+  struct WireState {
+    common::Domain domain = common::kGlobalDomain;
+    Rng latency_rng;
+    Rng loss_rng;
+    std::unique_ptr<sim::LossModel> loss;  // null = lossless channel
+  };
+
+  sim::SimulatorBase& sim_;
   ChordConfig cfg_;
+  std::uint64_t seed_;
   Rng rng_;
-  Rng loss_rng_;  // dedicated stream; untouched unless loss is enabled
   std::unique_ptr<sim::LatencyModel> latency_;
-  std::unique_ptr<sim::LossModel> loss_;  // null when loss_rate == 0
+  std::unique_ptr<sim::LossModel> loss_;  // prototype; null = lossless
+  std::unordered_map<Key, WireState> wire_;
   overlay::TrafficStats traffic_;
   metrics::Registry registry_;
   HotStats hot_{registry_};

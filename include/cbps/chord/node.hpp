@@ -25,7 +25,13 @@ class ChordNetwork;
 
 class ChordNode final : public overlay::OverlayNode {
  public:
-  ChordNode(ChordNetwork& net, Key id, std::string name);
+  /// `domain` is this node's scheduling domain, registered with the
+  /// engine by ChordNetwork when the node is created. Every self-owned
+  /// event the node schedules (retransmit timers, maintenance) is keyed
+  /// by — and, under the parallel engine, placed on the shard of — this
+  /// domain.
+  ChordNode(ChordNetwork& net, Key id, std::string name,
+            common::Domain domain);
 
   ChordNode(const ChordNode&) = delete;
   ChordNode& operator=(const ChordNode&) = delete;
@@ -48,6 +54,7 @@ class ChordNode final : public overlay::OverlayNode {
   // --- identity / introspection ---------------------------------------
   const std::string& name() const { return name_; }
   overlay::OverlayApp* app() const { return app_; }
+  common::Domain domain() const override { return domain_; }
 
   /// Whether this node covers key `k`, i.e. k in (pred, id]. A node with
   /// no known predecessor accepts everything routed to it (routing is
@@ -157,6 +164,7 @@ class ChordNode final : public overlay::OverlayNode {
   ChordNetwork& net_;
   Key id_;
   std::string name_;
+  common::Domain domain_ = common::kGlobalDomain;
   overlay::OverlayApp* app_ = nullptr;
 
   bool has_pred_ = false;

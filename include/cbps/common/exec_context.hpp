@@ -1,0 +1,62 @@
+// Thread-local execution context shared by the simulation engines and
+// the metrics layer.
+//
+// Both engines (serial and sharded-parallel) publish, for the event
+// callback currently running on this thread:
+//   - the simulated time of the event,
+//   - the *acting domain* (who is doing the scheduling — used to
+//     attribute canonical event keys, see event_core.hpp),
+//   - the canonical key of the event itself plus a per-event emission
+//     counter (the deterministic sort key for trace spans), and
+//   - the metrics stripe (0 for the serial engine and for barrier /
+//     global-context execution, shard index + 1 inside a parallel
+//     worker) that lock-free striped statistics index with.
+//
+// Keeping this in common/ lets metrics code read the stripe without a
+// dependency on the sim layer, and sim code stays the only writer.
+#pragma once
+
+#include <cstdint>
+
+namespace cbps::common {
+
+/// A scheduling/execution domain. 0 is the global domain (drivers,
+/// samplers, fault scripts — everything that is not a simulated node);
+/// simulated nodes register dense domains >= 1 with their engine.
+using Domain = std::uint32_t;
+
+inline constexpr Domain kGlobalDomain = 0;
+
+struct ExecContext {
+  std::uint64_t time = 0;        // simulated time of the running event
+  Domain actor_domain = 0;       // who schedules / draws randomness
+  std::uint64_t event_key = 0;   // canonical key of the running event
+  std::uint32_t emit_seq = 0;    // per-event trace-span emission counter
+  std::uint32_t stripe = 0;      // metrics stripe (0 = serial/global)
+};
+
+inline ExecContext& exec_context() {
+  thread_local ExecContext ctx;
+  return ctx;
+}
+
+/// RAII actor switch: node code wraps scheduling of *self-owned* events
+/// (periodic timers, retransmit timers, buffer flushes) in an
+/// ActorScope(my_domain) so the event is keyed by — and placed on the
+/// shard of — its owner even when the node's code happens to run inside
+/// a global-context callback (e.g. a subscribe issued by the driver).
+/// This is what makes every cancel() a same-shard operation.
+class ActorScope {
+ public:
+  explicit ActorScope(Domain d) : saved_(exec_context().actor_domain) {
+    exec_context().actor_domain = d;
+  }
+  ~ActorScope() { exec_context().actor_domain = saved_; }
+  ActorScope(const ActorScope&) = delete;
+  ActorScope& operator=(const ActorScope&) = delete;
+
+ private:
+  Domain saved_;
+};
+
+}  // namespace cbps::common

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "cbps/common/exec_context.hpp"
 #include "cbps/common/ring.hpp"
 #include "cbps/common/types.hpp"
 #include "cbps/overlay/payload.hpp"
@@ -52,6 +53,12 @@ class OverlayNode {
 
   virtual Key id() const = 0;
   virtual RingParams ring() const = 0;
+
+  /// The scheduling domain this node's events run on (see
+  /// common::ExecContext). The application layer wraps scheduling of its
+  /// own per-node timers in an ActorScope of this domain so they land on
+  /// the same engine shard as the overlay node. Default: global.
+  virtual common::Domain domain() const { return common::kGlobalDomain; }
 
   /// Route `payload` to the node covering `key` (the standard unicast
   /// send(m, k)).

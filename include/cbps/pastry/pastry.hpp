@@ -115,7 +115,10 @@ class PastryNetwork;
 
 class PastryNode final : public overlay::OverlayNode {
  public:
-  PastryNode(PastryNetwork& net, Key id, std::string name);
+  /// `domain` is this node's scheduling domain, registered with the
+  /// engine by PastryNetwork (see ChordNode for the contract).
+  PastryNode(PastryNetwork& net, Key id, std::string name,
+             common::Domain domain);
 
   PastryNode(const PastryNode&) = delete;
   PastryNode& operator=(const PastryNode&) = delete;
@@ -135,6 +138,7 @@ class PastryNode final : public overlay::OverlayNode {
 
   // --- introspection ------------------------------------------------------
   const std::string& name() const { return name_; }
+  common::Domain domain() const override { return domain_; }
   bool covers(Key k) const;
   const std::vector<std::optional<Key>>& routing_table() const {
     return table_;
@@ -181,6 +185,7 @@ class PastryNode final : public overlay::OverlayNode {
   PastryNetwork& net_;
   Key id_;
   std::string name_;
+  common::Domain domain_ = common::kGlobalDomain;
   overlay::OverlayApp* app_ = nullptr;
 
   std::vector<Key> leaf_pred_;  // nearest first (counter-clockwise)
@@ -204,7 +209,8 @@ class PastryNode final : public overlay::OverlayNode {
 /// Simulation container: owns the nodes, the wire and a routing oracle.
 class PastryNetwork {
  public:
-  PastryNetwork(sim::Simulator& sim, PastryConfig cfg, std::uint64_t seed,
+  PastryNetwork(sim::SimulatorBase& sim, PastryConfig cfg,
+                std::uint64_t seed,
                 std::unique_ptr<sim::LatencyModel> latency = nullptr);
   ~PastryNetwork();
 
@@ -228,7 +234,7 @@ class PastryNetwork {
                 overlay::MessageClass cls);
   void self_deliver(std::function<void()> action);
 
-  sim::Simulator& sim() { return sim_; }
+  sim::SimulatorBase& sim() { return sim_; }
   overlay::TrafficStats& traffic() { return traffic_; }
   metrics::Registry& registry() { return registry_; }
   const PastryConfig& config() const { return cfg_; }
@@ -262,12 +268,22 @@ class PastryNetwork {
   HotStats& hot() { return hot_; }
 
  private:
-  sim::Simulator& sim_;
+  // Per-sender wire state (domain + dedicated latency/loss streams +
+  // loss-channel clone); see ChordNetwork::WireState for the rationale.
+  struct WireState {
+    common::Domain domain = common::kGlobalDomain;
+    Rng latency_rng;
+    Rng loss_rng;
+    std::unique_ptr<sim::LossModel> loss;  // null = lossless channel
+  };
+
+  sim::SimulatorBase& sim_;
   PastryConfig cfg_;
+  std::uint64_t seed_;
   Rng rng_;
-  Rng loss_rng_;  // dedicated stream; untouched unless loss is enabled
   std::unique_ptr<sim::LatencyModel> latency_;
-  std::unique_ptr<sim::LossModel> loss_;  // null when loss_rate == 0
+  std::unique_ptr<sim::LossModel> loss_;  // prototype; null = lossless
+  std::unordered_map<Key, WireState> wire_;
   overlay::TrafficStats traffic_;
   metrics::Registry registry_;
   HotStats hot_{registry_};

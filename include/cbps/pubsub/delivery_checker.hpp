@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,10 @@ class DeliveryChecker {
 
   std::map<SubscriptionId, SubEntry> subs_;
   std::vector<PubEntry> publishes_;
+  // on_notify runs inside subscriber delivery events — concurrently
+  // across shards under the parallel engine. The map is commutative
+  // (keyed counts), so a mutex keeps it deterministic.
+  std::mutex notify_mu_;
   std::map<std::pair<EventId, SubscriptionId>, DeliveryInfo> deliveries_;
 };
 

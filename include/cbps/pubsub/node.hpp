@@ -70,7 +70,7 @@ class PubSubNode final : public overlay::OverlayApp {
   using NotifySink =
       std::function<void(Key subscriber, const Notification&)>;
 
-  PubSubNode(overlay::OverlayNode& overlay, sim::Simulator& sim,
+  PubSubNode(overlay::OverlayNode& overlay, sim::SimulatorBase& sim,
              const AkMapping& mapping, PubSubConfig cfg);
   ~PubSubNode() override;
 
@@ -208,7 +208,7 @@ class PubSubNode final : public overlay::OverlayApp {
   bool agent_toward_successor(const KeyRange& r) const;
 
   overlay::OverlayNode& overlay_;
-  sim::Simulator& sim_;
+  sim::SimulatorBase& sim_;
   const AkMapping& mapping_;
   PubSubConfig cfg_;
 

@@ -20,6 +20,12 @@ class LossModel {
   virtual ~LossModel() = default;
   /// True if this transmission is lost.
   virtual bool drop(Rng& rng) = 0;
+
+  /// Fresh copy with independent channel state. The network keeps one
+  /// channel per *sender* so loss decisions ride the sender's own RNG
+  /// stream (a hard requirement for shard-count-invariant determinism:
+  /// a shared channel would be consumed in wall-clock order).
+  virtual std::unique_ptr<LossModel> clone() const = 0;
 };
 
 /// Drops every message independently with a fixed probability.
@@ -31,6 +37,9 @@ class UniformLoss final : public LossModel {
   }
 
   bool drop(Rng& rng) override { return rng.uniform01() < rate_; }
+  std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<UniformLoss>(rate_);
+  }
   double rate() const { return rate_; }
 
  private:
@@ -64,6 +73,13 @@ class GilbertElliottLoss final : public LossModel {
       if (rng.uniform01() < p_) bad_ = true;
     }
     return lost;
+  }
+
+  std::unique_ptr<LossModel> clone() const override {
+    auto c = std::make_unique<GilbertElliottLoss>(p_, q_, good_loss_,
+                                                 bad_loss_);
+    c->bad_ = bad_;
+    return c;
   }
 
   bool in_bad_state() const { return bad_; }

@@ -1,0 +1,121 @@
+// Epoch-synchronous sharded discrete-event engine.
+//
+// Nodes (domains) are sharded across worker threads. Execution
+// alternates between two modes:
+//
+//   - Global batches: whenever the earliest pending event belongs to
+//     the global domain (drivers, samplers, fault scripts), every
+//     global event at that timestamp runs exclusively on the calling
+//     thread, in canonical key order. Global context may touch any
+//     shard (joins, crashes, cross-shard cancels) — nothing else runs.
+//   - Parallel windows: otherwise, with m the earliest pending shard
+//     event and L the conservative lookahead (the minimum delay the
+//     network's latency model can emit), all shards concurrently
+//     process their events with time < min(m + L, next global event).
+//     Within a shard, events run in canonical (time, key) order.
+//
+// Shard isolation is the engines' contract with the network layer:
+// during a window a shard only touches its own nodes' state, striped /
+// atomic metrics, and its own event core. The only cross-shard
+// interaction is schedule_for() to another shard, which must be at
+// least one lookahead in the future (network transmission — asserted);
+// those land in a per-shard outbox that the barrier merges. Because
+// every event carries a canonical key and heaps order by (time, key),
+// the merge order is deterministic no matter which shard produced what
+// when — runs are bit-identical to the serial engine and to themselves
+// at any shard count (see event_core.hpp for the full argument).
+//
+// The engine asserts lookahead > 0 — a zero-delay latency model would
+// make every window empty. Callers (PubSubSystem) fall back to the
+// serial engine for such models instead of constructing this one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cbps/common/thread_pool.hpp"
+#include "cbps/sim/simulator.hpp"
+
+namespace cbps::sim {
+
+class ParallelSimulator final : public SimulatorBase {
+ public:
+  /// `threads` worker shards (>= 1), conservative lookahead `lookahead`
+  /// (> 0; the minimum possible network delay).
+  ParallelSimulator(unsigned threads, SimTime lookahead);
+  ~ParallelSimulator() override;
+
+  SimTime now() const override;
+  EventId schedule_at(SimTime t, Callback cb) override;
+  EventId schedule_for(Domain target, SimTime t, Callback cb) override;
+  bool cancel(EventId id) override;
+  using SimulatorBase::add_timer;
+  TimerId add_timer(SimTime period, SimTime first_delay,
+                    Callback cb) override;
+  bool cancel_timer(TimerId id) override;
+  std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0}) override;
+  std::uint64_t run_until(SimTime t) override;
+  std::size_t pending_events() const override;
+  std::uint64_t events_processed() const override;
+  std::uint64_t stale_entries_skipped() const override;
+  std::uint64_t heap_compactions() const override;
+  Domain register_domain() override;
+  unsigned thread_count() const override { return shards_; }
+
+  SimTime lookahead() const { return lookahead_; }
+
+ private:
+  // Domains are assigned to shards in blocks of four so the four
+  // schedule counters sharing one cache line always belong to the same
+  // shard (no false sharing on the key-allocation hot path).
+  static constexpr std::uint32_t kDomainBlock = 4;
+
+  struct alignas(64) SeqBlock {
+    std::uint64_t v[kDomainBlock] = {0, 0, 0, 0};
+  };
+
+  /// A cross-shard event captured during a window, merged at the
+  /// barrier. The key was already allocated at schedule_for() time, so
+  /// merge order cannot affect execution order.
+  struct OutboxEntry {
+    std::uint32_t target_core;
+    Domain target;
+    SimTime time;
+    std::uint64_t key;
+    Callback cb;
+  };
+
+  struct CoreState {
+    explicit CoreState(std::uint32_t idx) : ev(idx) {}
+    detail::EventCore ev;
+    SimTime cur_time = 0;             // clock of the running worker
+    std::vector<OutboxEntry> outbox;  // filled during a window
+  };
+
+  /// Core index for a domain: 0 (the global core) for domain 0, else a
+  /// block-cyclic assignment over the shard cores 1..shards_.
+  std::uint32_t core_of(Domain d) const {
+    return d == 0 ? 0 : 1 + ((d - 1) / kDomainBlock) % shards_;
+  }
+
+  std::uint64_t next_key(Domain actor);
+  EventId place(std::uint32_t core, Domain target, SimTime t,
+                std::uint64_t key, Callback cb);
+  void run_shard(std::uint32_t core_idx, SimTime window_end);
+  void run_global_batch(SimTime g);
+  void fire_timer(std::uint32_t core_idx, std::uint64_t local_id);
+  std::uint64_t run_loop(SimTime limit, std::uint64_t max_events);
+
+  unsigned shards_;
+  SimTime lookahead_;
+  SimTime now_ = 0;         // global/barrier clock
+  SimTime window_end_ = 0;  // exclusive bound of the running window
+  std::uint64_t global_seq_ = 0;        // domain 0 schedule counter
+  std::vector<SeqBlock> dom_seq_;       // domains >= 1, blocks of 4
+  Domain next_domain_ = 1;
+  std::vector<std::unique_ptr<CoreState>> cores_;  // [0] = global core
+  common::ThreadPool pool_;
+};
+
+}  // namespace cbps::sim

@@ -1,152 +1,163 @@
-// Single-threaded discrete-event simulation engine.
+// Discrete-event simulation engines.
 //
-// Events are (time, callback) pairs processed in nondecreasing time order;
-// ties break by schedule order (a strict total order), which together with
-// the seeded Rng makes every run bit-reproducible.
+// SimulatorBase is the seam the overlay/network/pub-sub layers program
+// against: scheduling, periodic timers, domain registration, and run
+// control. Two engines implement it:
 //
-// The schedule/fire/cancel cycle is allocation-free in steady state:
-// callbacks live in generation-stamped slots (a flat vector recycled
-// through an intrusive free list, small captures stored inline via
-// InlineFunction), and the time-ordered heap is a plain vector of
-// (time, seq, id) triples. Cancellation just bumps the slot's
-// generation; the stale heap entry is skipped when popped, and the heap
-// is compacted whenever stale entries outnumber live ones so
-// timer-heavy workloads (ack/retry backoff) cannot grow it unboundedly.
+//   - Simulator (this header): the single-threaded engine. One event
+//     core, events processed in canonical (time, key) order.
+//   - ParallelSimulator (parallel_simulator.hpp): the epoch-synchronous
+//     sharded engine. Nodes are sharded across worker threads; each
+//     conservative-lookahead window executes shard-locally and
+//     cross-shard messages are exchanged at barriers. Bit-identical to
+//     the serial engine (see event_core.hpp for the ordering contract).
+//
+// Domains: every simulated actor that needs its events isolated onto a
+// shard registers a *domain* (register_domain()). Domain 0 is the
+// global domain — drivers, samplers, fault scripts — whose events are
+// barriers in the parallel engine. Single-domain users (unit tests,
+// micro-benches) can ignore the concept entirely; everything defaults
+// to domain 0 and behaves exactly like the classic serial engine.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cbps/common/assert.hpp"
+#include "cbps/common/exec_context.hpp"
 #include "cbps/common/inline_function.hpp"
+#include "cbps/sim/event_core.hpp"
 #include "cbps/sim/time.hpp"
 
 namespace cbps::sim {
 
-class Simulator {
+class SimulatorBase {
  public:
   using Callback = common::InlineFunction<void(), 48>;
   using EventId = std::uint64_t;
   using TimerId = std::uint64_t;
+  using Domain = common::Domain;
 
   static constexpr EventId kInvalidEvent = 0;
 
-  Simulator() = default;
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
+  SimulatorBase() = default;
+  SimulatorBase(const SimulatorBase&) = delete;
+  SimulatorBase& operator=(const SimulatorBase&) = delete;
+  virtual ~SimulatorBase() = default;
 
-  /// Current simulated time.
-  SimTime now() const { return now_; }
+  /// Current simulated time. Inside an event callback this is the event's
+  /// time (on any engine); outside it is the engine clock.
+  virtual SimTime now() const = 0;
 
-  /// Schedule `cb` at absolute time `t` (>= now()). Returns a handle that
-  /// can cancel the event before it fires.
-  EventId schedule_at(SimTime t, Callback cb);
+  /// Schedule `cb` at absolute time `t` (>= now()). The event is keyed
+  /// by — and, on the parallel engine, placed on the shard of — the
+  /// current acting domain (common::exec_context().actor_domain).
+  /// Returns a handle that can cancel the event before it fires.
+  virtual EventId schedule_at(SimTime t, Callback cb) = 0;
 
   /// Schedule `cb` after `delay` from now.
   EventId schedule_after(SimTime delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+    return schedule_at(now() + delay, std::move(cb));
   }
 
+  /// Schedule `cb` to execute *as* domain `target` at absolute time `t`
+  /// (network delivery: the receiver runs the callback). On the parallel
+  /// engine the event is placed on the target's shard; called from a
+  /// worker with a target on another shard, `t` must be at least one
+  /// lookahead ahead and the returned handle is kInvalidEvent (a
+  /// cross-shard event cannot be cancelled by its sender).
+  virtual EventId schedule_for(Domain target, SimTime t, Callback cb) = 0;
+
   /// Cancel a pending event. Returns false if it already fired or was
-  /// already cancelled.
-  bool cancel(EventId id);
+  /// already cancelled. On the parallel engine, only the owning shard
+  /// (or global context at a barrier) may cancel.
+  virtual bool cancel(EventId id) = 0;
 
   /// Register a periodic timer firing every `period`, first at
-  /// now() + first_delay (defaults to one full period). The callback keeps
-  /// firing until cancel_timer().
-  TimerId add_timer(SimTime period, Callback cb);
-  TimerId add_timer(SimTime period, SimTime first_delay, Callback cb);
+  /// now() + first_delay (defaults to one full period). The timer is
+  /// owned by the current acting domain (events keyed/placed like
+  /// schedule_at). The callback keeps firing until cancel_timer().
+  TimerId add_timer(SimTime period, Callback cb) {
+    return add_timer(period, period, std::move(cb));
+  }
+  virtual TimerId add_timer(SimTime period, SimTime first_delay,
+                            Callback cb) = 0;
 
   /// Stop a periodic timer. Returns false if unknown/already cancelled.
-  bool cancel_timer(TimerId id);
+  virtual bool cancel_timer(TimerId id) = 0;
 
-  /// Run until the queue drains (or `max_events` fire). Returns the number
-  /// of events processed.
-  std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0});
+  /// Run until the queue drains (or at least `max_events` fire — the
+  /// parallel engine only checks the budget between epochs). Returns the
+  /// number of events processed.
+  virtual std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0}) = 0;
 
   /// Process every event with time <= t, then advance the clock to t.
   /// Returns the number of events processed.
-  std::uint64_t run_until(SimTime t);
+  virtual std::uint64_t run_until(SimTime t) = 0;
 
   /// Pending (non-cancelled) event count, periodic timers included.
-  std::size_t pending_events() const { return live_; }
+  virtual std::size_t pending_events() const = 0;
 
-  std::uint64_t events_processed() const { return processed_; }
+  virtual std::uint64_t events_processed() const = 0;
+
+  /// Heap-health accounting (surfaces in --metrics-json): lazy-deleted
+  /// entries skipped at pop time, and full heap rebuilds triggered when
+  /// stale entries outnumbered live ones.
+  virtual std::uint64_t stale_entries_skipped() const = 0;
+  virtual std::uint64_t heap_compactions() const = 0;
+
+  /// Allocate a fresh scheduling domain (dense, starting at 1). The
+  /// parallel engine assigns the domain to a shard; the serial engine
+  /// only uses it for key attribution.
+  virtual Domain register_domain() = 0;
+
+  /// Worker threads executing events (1 for the serial engine).
+  virtual unsigned thread_count() const { return 1; }
+};
+
+/// The single-threaded engine: one EventCore processed in canonical
+/// (time, key) order. Final so direct users (micro-benches, tests)
+/// devirtualize the hot path.
+class Simulator final : public SimulatorBase {
+ public:
+  Simulator();
+
+  SimTime now() const override { return now_; }
+  EventId schedule_at(SimTime t, Callback cb) override;
+  EventId schedule_for(Domain target, SimTime t, Callback cb) override;
+  bool cancel(EventId id) override;
+  using SimulatorBase::add_timer;
+  TimerId add_timer(SimTime period, SimTime first_delay,
+                    Callback cb) override;
+  bool cancel_timer(TimerId id) override;
+  std::uint64_t run(std::uint64_t max_events = ~std::uint64_t{0}) override;
+  std::uint64_t run_until(SimTime t) override;
+  std::size_t pending_events() const override { return core_.live(); }
+  std::uint64_t events_processed() const override {
+    return core_.processed();
+  }
+  std::uint64_t stale_entries_skipped() const override {
+    return core_.stale_skipped();
+  }
+  std::uint64_t heap_compactions() const override {
+    return core_.compactions();
+  }
+  Domain register_domain() override;
 
  private:
-  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  /// Canonical key for a fresh event, attributed to the acting domain.
+  std::uint64_t next_key();
 
-  // EventId layout: generation in the high 32 bits, slot index + 1 in the
-  // low 32 (so generation 0 / slot 0 is still nonzero and kInvalidEvent
-  // never collides). A slot's generation bumps on every release, so a
-  // handle to a fired/cancelled event — or to a recycled slot — goes
-  // stale. (A single slot would need 2^32 reuses to alias.)
-  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
-    return (static_cast<EventId>(gen) << 32) |
-           (static_cast<EventId>(slot) + 1);
-  }
-  static std::uint32_t slot_of(EventId id) {
-    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
-  }
-  static std::uint32_t gen_of(EventId id) {
-    return static_cast<std::uint32_t>(id >> 32);
-  }
-
-  struct Slot {
-    Callback cb;
-    std::uint32_t gen = 0;
-    std::uint32_t next_free = kNoSlot;
-    bool armed = false;
-  };
-
-  struct HeapEntry {
-    SimTime time;
-    std::uint64_t seq;  // schedule order, the deterministic tie-break
-    EventId id;
-    // Min-heap ordering: earliest time first, then schedule order.
-    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
-
-  struct TimerState {
-    SimTime period;
-    // Shared so a fire can keep the body alive while the callback itself
-    // cancels the timer (which erases this state).
-    std::shared_ptr<Callback> cb;
-    EventId next_event = kInvalidEvent;
-  };
-
-  bool is_live(EventId id) const {
-    const std::uint32_t slot = slot_of(id);
-    return slot < slots_.size() && slots_[slot].armed &&
-           slots_[slot].gen == gen_of(id);
-  }
-
-  /// Free the slot behind `id` (bumps generation, recycles storage).
-  void release(std::uint32_t slot);
-
-  /// Rebuild the heap without stale entries once they dominate.
-  void maybe_compact();
-
-  /// Pop and run the earliest event. Precondition: queue non-empty after
-  /// discarding cancelled entries. Returns false if nothing runnable.
+  /// Pop and run the earliest event. Returns false if nothing runnable.
   bool step();
 
-  void arm_timer(TimerId id);
   void fire_timer(TimerId id);
 
+  detail::EventCore core_;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 1;
-  TimerId next_timer_id_ = 1;
-  std::uint64_t processed_ = 0;
-  std::vector<HeapEntry> heap_;  // min-heap via std::push_heap/pop_heap
-  std::vector<Slot> slots_;
-  std::uint32_t free_head_ = kNoSlot;
-  std::size_t live_ = 0;  // armed slots == non-stale heap entries
-  std::unordered_map<TimerId, TimerState> timers_;
+  // Per-domain schedule counters (index = domain; [0] is global).
+  std::vector<std::uint64_t> dom_seq_;
 };
 
 }  // namespace cbps::sim

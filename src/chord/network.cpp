@@ -25,6 +25,7 @@ ChordNetwork::HotStats::HotStats(metrics::Registry& reg)
       net_partition_dropped(
           reg.counter_handle("chord.net.partition_dropped")),
       net_lost(reg.counter_handle("chord.net.lost")),
+      join_retry(reg.counter_handle("chord.join_retry")),
       route_hops(reg.histogram_handle("chord.route_hops")),
       mcast_fanout(reg.histogram_handle("chord.mcast_fanout")),
       retries_per_send(reg.histogram_handle("chord.retries_per_send")) {
@@ -35,15 +36,26 @@ ChordNetwork::HotStats::HotStats(metrics::Registry& reg)
   }
 }
 
-ChordNetwork::ChordNetwork(sim::Simulator& sim, ChordConfig cfg,
+namespace {
+
+// SplitMix64 finalizer: decorrelates the per-node wire-stream seeds
+// derived from (run seed, node id).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ChordNetwork::ChordNetwork(sim::SimulatorBase& sim, ChordConfig cfg,
                            std::uint64_t seed,
                            std::unique_ptr<sim::LatencyModel> latency)
     : sim_(sim),
       cfg_(cfg),
+      seed_(seed),
       rng_(seed),
-      // Dedicated loss stream derived from the run seed: enabling loss
-      // must not perturb the latency/topology random sequences.
-      loss_rng_(seed ^ 0x9e3779b97f4a7c15ull),
       latency_(latency ? std::move(latency) : sim::default_latency()) {
   if (cfg_.loss_rate > 0.0) {
     loss_ = std::make_unique<sim::UniformLoss>(cfg_.loss_rate);
@@ -71,9 +83,17 @@ ChordNode& ChordNetwork::add_node(const std::string& name) {
 ChordNode& ChordNetwork::add_node_with_id(Key id, std::string name) {
   CBPS_ASSERT_MSG(!nodes_.contains(id), "duplicate node id");
   CBPS_ASSERT(id <= cfg_.ring.max_key());
-  auto node = std::make_unique<ChordNode>(*this, id, std::move(name));
+  // Per-sender wire streams seeded from (run seed, node id): the draw
+  // sequences are independent of registration order and engine choice.
+  // Dedicated loss stream so enabling loss never perturbs latency.
+  WireState ws{sim_.register_domain(), Rng(mix64(seed_ ^ mix64(id))),
+               Rng(mix64(seed_ ^ mix64(id) ^ 0x9e3779b97f4a7c15ull)),
+               loss_ ? loss_->clone() : nullptr};
+  auto node =
+      std::make_unique<ChordNode>(*this, id, std::move(name), ws.domain);
   ChordNode& ref = *node;
   nodes_.emplace(id, std::move(node));
+  wire_.emplace(id, std::move(ws));
   alive_.insert(std::lower_bound(alive_.begin(), alive_.end(), id), id);
   return ref;
 }
@@ -177,6 +197,21 @@ double ChordNetwork::slow_factor(Key id) const {
 
 void ChordNetwork::set_loss_model(std::unique_ptr<sim::LossModel> model) {
   loss_ = std::move(model);
+  for (auto& [_, ws] : wire_) {
+    ws.loss = loss_ ? loss_->clone() : nullptr;
+  }
+}
+
+std::size_t ChordNetwork::loss_bad_state_count() const {
+  std::size_t n = 0;
+  for (Key id : alive_) {
+    const auto it = wire_.find(id);
+    if (it == wire_.end()) continue;
+    const auto* ge =
+        dynamic_cast<const sim::GilbertElliottLoss*>(it->second.loss.get());
+    if (ge != nullptr && ge->in_bad_state()) ++n;
+  }
+  return n;
 }
 
 bool ChordNetwork::is_alive(Key id) const {
@@ -261,7 +296,12 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
   }
   traffic_.record_hop(cls, wire_size_bytes(msg));
 
-  if (loss_ != nullptr && loss_->drop(loss_rng_)) {
+  // All wire randomness comes from the *sender's* streams: transmit is
+  // only ever called from the sending node's own execution context (or
+  // from the exclusive global context), so the draws race with nothing
+  // and replay identically at any shard count.
+  WireState& src_wire = wire_.at(from);
+  if (src_wire.loss != nullptr && src_wire.loss->drop(src_wire.loss_rng)) {
     // The message hit the wire (hop/bytes recorded) but never arrives.
     hot_.net_lost->inc();
     hot_.net_lost_by_class[static_cast<std::size_t>(cls)]->inc();
@@ -275,13 +315,18 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
   env->from_pred = src.predecessor().value_or(0);
   env->msg = std::move(msg);
 
-  sim::SimTime delay = latency_->sample(rng_);
+  sim::SimTime delay = latency_->sample(src_wire.latency_rng);
   // Gray failure: a slow node stretches every message it touches.
   const double slow = std::max(slow_factor(from), slow_factor(to));
   if (slow > 1.0) {
     delay = static_cast<sim::SimTime>(static_cast<double>(delay) * slow);
   }
-  sim_.schedule_after(delay, [this, from, to, env] {
+  // Deliver on the destination's scheduling domain: the receive callback
+  // runs on (and is keyed by) the receiver's shard. The latency floor
+  // (LatencyModel::min_delay) is the parallel engine's lookahead, which
+  // is exactly what makes this cross-shard handoff legal mid-window.
+  sim_.schedule_for(wire_.at(to).domain, sim_.now() + delay,
+                    [this, from, to, env] {
     // Destination died in flight — except a lame-duck ack: the departed
     // process is still up, waiting for exactly this.
     if (!is_alive(to) && !(std::holds_alternative<AckMsg>(env->msg) &&

@@ -46,10 +46,12 @@ metrics::TraceRef wire_ref(const WireMessage& msg) {
 
 }  // namespace
 
-ChordNode::ChordNode(ChordNetwork& net, Key id, std::string name)
+ChordNode::ChordNode(ChordNetwork& net, Key id, std::string name,
+                     common::Domain domain)
     : net_(net),
       id_(id),
       name_(std::move(name)),
+      domain_(domain),
       fingers_(net.ring(), id),
       cache_(net.ring(), net.config().location_cache_size) {}
 
@@ -96,6 +98,10 @@ bool ChordNode::transmit_reliable(Key to, WireMessage msg,
   p.cls = cls;
   p.timeout = rto_for(to);
   p.sent_at = net_.sim().now();
+  // Self-owned timer: keyed by (and sharded with) this node even when
+  // the send was issued from a driver's global-context callback, so the
+  // cancel in handle_ack is always a same-shard operation.
+  const common::ActorScope as(domain_);
   p.timer =
       net_.sim().schedule_after(p.timeout, [this, seq] { retransmit(seq); });
   p.msg = std::move(msg);  // retransmission copy; payload ptr is shared
@@ -131,6 +137,7 @@ void ChordNode::retransmit(std::uint64_t seq) {
   }
   if (net_.transmit(id_, p.to, p.msg, p.cls)) {
     p.timeout *= 2;  // exponential backoff
+    const common::ActorScope as(domain_);
     p.timer = net_.sim().schedule_after(p.timeout,
                                         [this, seq] { retransmit(seq); });
     return;
@@ -674,8 +681,9 @@ void ChordNode::handle_find_successor_reply(const FindSuccessorReply& msg) {
     if (msg.owner == id_ && joining_) {
       // A stale routing path bounced the lookup back to us before we
       // were integrated; retry through the bootstrap after a beat.
-      net_.registry().counter("chord.join_retry").inc();
+      net_.hot().join_retry->inc();
       const Key bootstrap = join_bootstrap_;
+      const common::ActorScope as(domain_);
       net_.sim().schedule_after(sim::sec(1),
                                 [this, bootstrap] { begin_join(bootstrap); });
       return;
@@ -705,6 +713,8 @@ void ChordNode::handle_find_successor_reply(const FindSuccessorReply& msg) {
 
 void ChordNode::start_maintenance() {
   if (maintenance_timer_ != 0 || config().stabilize_period == 0) return;
+  // Self-owned periodic timer; see transmit_reliable for why the scope.
+  const common::ActorScope as(domain_);
   maintenance_timer_ = net_.sim().add_timer(config().stabilize_period,
                                             [this] { maintenance_tick(); });
 }

@@ -5,6 +5,47 @@
 
 namespace cbps::metrics {
 
+namespace {
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram& Histogram::operator=(const Histogram& o) {
+  if (this == &o) return *this;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].store(o.bucket(i), std::memory_order_relaxed);
+  }
+  count_.store(o.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  sum_.store(o.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  min_.store(o.min_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  max_.store(o.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  return *this;
+}
+
 std::size_t Histogram::bucket_index(double v) {
   if (!(v > 0.0)) return 0;  // zero, negative, NaN
   int exp = 0;
@@ -35,62 +76,58 @@ double Histogram::bucket_mid(std::size_t i) {
 
 void Histogram::add(double v, std::uint64_t weight) {
   if (weight == 0) return;
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    if (v < min_) min_ = v;
-    if (v > max_) max_ = v;
-  }
-  buckets_[bucket_index(v)] += weight;
-  count_ += weight;
-  sum_ += v * static_cast<double>(weight);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  buckets_[bucket_index(v)].fetch_add(weight, std::memory_order_relaxed);
+  count_.fetch_add(weight, std::memory_order_relaxed);
+  atomic_add(sum_, v * static_cast<double>(weight));
 }
 
 double Histogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  if (p <= 0.0) return min_;
-  if (p >= 100.0) return max_;
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
   // Rank of the requested observation, 1-based.
   auto rank = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+      std::ceil(p / 100.0 * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBucketCount; ++i) {
-    seen += buckets_[i];
+    seen += bucket(i);
     if (seen >= rank) {
       double v = bucket_mid(i);
-      if (v < min_) v = min_;
-      if (v > max_) v = max_;
+      if (v < min()) v = min();
+      if (v > max()) v = max();
       return v;
     }
   }
-  return max_;
+  return max();
 }
 
 void Histogram::merge(const Histogram& other) {
-  if (other.count_ == 0) return;
-  if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    if (other.min_ < min_) min_ = other.min_;
-    if (other.max_ > max_) max_ = other.max_;
+  if (other.count() == 0) return;
+  atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+  atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
   }
-  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
-  sum_ += other.sum_;
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
 }
 
 void Histogram::reset() {
-  buckets_.fill(0);
-  count_ = 0;
-  sum_ = 0.0;
-  min_ = 0.0;
-  max_ = 0.0;
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 void Histogram::print(std::ostream& os) const {
-  os << "count=" << count_ << " mean=" << mean() << " p50=" << p50()
+  os << "count=" << count() << " mean=" << mean() << " p50=" << p50()
      << " p90=" << p90() << " p99=" << p99() << " max=" << max();
 }
 

@@ -1,6 +1,11 @@
 #include "cbps/metrics/trace.hpp"
 
+#include <algorithm>
 #include <ostream>
+#include <unordered_map>
+
+#include "cbps/common/assert.hpp"
+#include "cbps/common/exec_context.hpp"
 
 namespace cbps::metrics {
 
@@ -25,9 +30,12 @@ const char* to_string(SpanKind kind) {
 TraceSink::TraceSink(double sample_rate)
     : sample_rate_(sample_rate < 0.0   ? 0.0
                    : sample_rate > 1.0 ? 1.0
-                                       : sample_rate) {}
+                                       : sample_rate),
+      stripes_(kMaxStripes) {}
 
 std::uint64_t TraceSink::maybe_start_trace() {
+  CBPS_ASSERT_MSG(common::exec_context().stripe == 0,
+                  "trace roots start from global context only");
   if (sample_rate_ <= 0.0) return 0;
   credit_ += sample_rate_;
   if (credit_ < 1.0) return 0;
@@ -40,18 +48,78 @@ std::uint64_t TraceSink::emit(const TraceRef& t, SpanKind kind,
                               std::uint64_t end_us, std::uint64_t a,
                               std::uint64_t b) {
   if (!t.sampled()) return 0;
-  if (spans_.size() >= max_spans_) {
-    ++spans_dropped_;
+  CBPS_ASSERT_MSG(!finalized_, "emit() after spans were finalized");
+  auto& x = common::exec_context();
+  CBPS_ASSERT(x.stripe < kMaxStripes);
+  Stripe& s = stripes_[x.stripe];
+  if (s.recs.size() >= max_spans_) {
+    ++s.dropped;
     return 0;
   }
-  const std::uint64_t id = next_span_++;
-  spans_.push_back(Span{id, t.trace_id, t.parent_span, kind, node, start_us,
-                        end_us, a, b});
+  // Provisional id: stripe-tagged so ids never collide across workers.
+  // finalize() renumbers them 1..n in canonical order.
+  const std::uint64_t id = ((static_cast<std::uint64_t>(x.stripe) + 1) << 48) |
+                           s.next_local++;
+  s.recs.push_back(Rec{Span{id, t.trace_id, t.parent_span, kind, node,
+                            start_us, end_us, a, b},
+                       x.time, x.event_key, x.emit_seq++});
   return id;
 }
 
-void TraceSink::write_jsonl(std::ostream& os) const {
-  for (const Span& s : spans_) {
+std::uint64_t TraceSink::spans_dropped() const {
+  std::uint64_t n = 0;
+  for (const Stripe& s : stripes_) n += s.dropped;
+  return n;
+}
+
+void TraceSink::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  std::size_t total = 0;
+  for (const Stripe& s : stripes_) total += s.recs.size();
+
+  std::vector<Rec> all;
+  all.reserve(total);
+  for (Stripe& s : stripes_) {
+    std::move(s.recs.begin(), s.recs.end(), std::back_inserter(all));
+    s.recs.clear();
+    s.recs.shrink_to_fit();
+  }
+
+  // Canonical order: (sim time, event key, emission index). Within one
+  // stripe the triple is strictly increasing per event, and event keys
+  // are unique across stripes, so the order — and therefore the
+  // renumbering — is a pure function of the workload, not of the engine
+  // or shard count. stable_sort keeps append order on the (test-only)
+  // case of emits outside any event callback.
+  std::stable_sort(all.begin(), all.end(), [](const Rec& l, const Rec& r) {
+    if (l.time != r.time) return l.time < r.time;
+    if (l.event_key != r.event_key) return l.event_key < r.event_key;
+    return l.emit_seq < r.emit_seq;
+  });
+
+  std::unordered_map<std::uint64_t, std::uint64_t> remap;
+  remap.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    remap.emplace(all[i].span.span_id, i + 1);
+  }
+
+  final_.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    Span s = all[i].span;
+    s.span_id = i + 1;
+    if (s.parent_span != 0) {
+      // A missing parent was dropped by the span cap; orphan to root.
+      const auto it = remap.find(s.parent_span);
+      s.parent_span = it != remap.end() ? it->second : 0;
+    }
+    final_.push_back(s);
+  }
+}
+
+void TraceSink::write_jsonl(std::ostream& os) {
+  for (const Span& s : spans()) {
     os << "{\"span\":" << s.span_id << ",\"trace\":" << s.trace_id
        << ",\"parent\":" << s.parent_span << ",\"kind\":\""
        << to_string(s.kind) << "\",\"node\":" << s.node
@@ -60,10 +128,10 @@ void TraceSink::write_jsonl(std::ostream& os) const {
   }
 }
 
-void TraceSink::write_chrome_trace(std::ostream& os) const {
+void TraceSink::write_chrome_trace(std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const Span& s : spans_) {
+  for (const Span& s : spans()) {
     if (!first) os << ",";
     first = false;
     // Complete ("X") events; zero-duration instants get dur=1 so they

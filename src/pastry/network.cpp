@@ -27,15 +27,26 @@ PastryNetwork::HotStats::HotStats(metrics::Registry& reg)
   }
 }
 
-PastryNetwork::PastryNetwork(sim::Simulator& sim, PastryConfig cfg,
+namespace {
+
+// SplitMix64 finalizer: decorrelates per-sender wire streams derived
+// from (run seed, node id). Same mixer as ChordNetwork.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PastryNetwork::PastryNetwork(sim::SimulatorBase& sim, PastryConfig cfg,
                              std::uint64_t seed,
                              std::unique_ptr<sim::LatencyModel> latency)
     : sim_(sim),
       cfg_(cfg),
+      seed_(seed),
       rng_(seed),
-      // Dedicated loss stream derived from the run seed: enabling loss
-      // must not perturb the latency random sequence.
-      loss_rng_(seed ^ 0x9e3779b97f4a7c15ull),
       latency_(latency ? std::move(latency) : sim::default_latency()) {
   if (cfg_.loss_rate > 0.0) {
     loss_ = std::make_unique<sim::UniformLoss>(cfg_.loss_rate);
@@ -59,9 +70,17 @@ PastryNode& PastryNetwork::add_node(const std::string& name) {
 
 PastryNode& PastryNetwork::add_node_with_id(Key id, std::string name) {
   CBPS_ASSERT(!nodes_.contains(id));
-  auto node = std::make_unique<PastryNode>(*this, id, std::move(name));
+  // Wire streams are pure functions of (run seed, node id): identical
+  // regardless of engine flavor or node-creation order.
+  WireState ws{sim_.register_domain(),
+               Rng(mix64(seed_ ^ mix64(id))),
+               Rng(mix64(seed_ ^ mix64(id) ^ 0x9e3779b97f4a7c15ull)),
+               loss_ ? loss_->clone() : nullptr};
+  auto node =
+      std::make_unique<PastryNode>(*this, id, std::move(name), ws.domain);
   PastryNode& ref = *node;
   nodes_.emplace(id, std::move(node));
+  wire_.emplace(id, std::move(ws));
   ids_.insert(std::lower_bound(ids_.begin(), ids_.end(), id), id);
   return ref;
 }
@@ -145,7 +164,11 @@ bool PastryNetwork::transmit(Key from, Key to, WireMessage msg,
   if (!std::binary_search(ids_.begin(), ids_.end(), to)) return false;
   traffic_.record_hop(cls, wire_size_bytes(msg));
 
-  if (loss_ != nullptr && loss_->drop(loss_rng_)) {
+  // Only the sender's own streams are consulted, so a transmit issued
+  // from node `from`'s event (or from exclusive global context) never
+  // races with other shards.
+  WireState& src_wire = wire_.at(from);
+  if (src_wire.loss != nullptr && src_wire.loss->drop(src_wire.loss_rng)) {
     // The message hit the wire (hop/bytes recorded) but never arrives.
     hot_.net_lost->inc();
     hot_.net_lost_by_class[static_cast<std::size_t>(cls)]->inc();
@@ -153,11 +176,13 @@ bool PastryNetwork::transmit(Key from, Key to, WireMessage msg,
   }
 
   auto boxed = std::make_shared<WireMessage>(std::move(msg));
-  const sim::SimTime delay = latency_->sample(rng_);
-  sim_.schedule_after(delay, [this, from, to, boxed] {
-    if (!std::binary_search(ids_.begin(), ids_.end(), to)) return;
-    nodes_.at(to)->receive(from, std::move(*boxed));
-  });
+  const sim::SimTime delay = latency_->sample(src_wire.latency_rng);
+  sim_.schedule_for(wire_.at(to).domain, sim_.now() + delay,
+                    [this, from, to, boxed] {
+                      if (!std::binary_search(ids_.begin(), ids_.end(), to))
+                        return;
+                      nodes_.at(to)->receive(from, std::move(*boxed));
+                    });
   return true;
 }
 

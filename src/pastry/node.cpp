@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "cbps/common/exec_context.hpp"
 #include "cbps/common/hash.hpp"
 #include "cbps/common/logging.hpp"
 #include "cbps/overlay/mcast_partition.hpp"
@@ -41,8 +42,9 @@ metrics::TraceRef wire_ref(const WireMessage& msg) {
 
 }  // namespace
 
-PastryNode::PastryNode(PastryNetwork& net, Key id, std::string name)
-    : net_(net), id_(id), name_(std::move(name)) {
+PastryNode::PastryNode(PastryNetwork& net, Key id, std::string name,
+                       common::Domain domain)
+    : net_(net), id_(id), name_(std::move(name)), domain_(domain) {
   table_.resize(net_.ring().bits());
 }
 
@@ -99,8 +101,13 @@ bool PastryNode::transmit_reliable(Key to, WireMessage msg,
   p.to = to;
   p.cls = cls;
   p.timeout = config().retry_base;
-  p.timer =
-      net_.sim().schedule_after(p.timeout, [this, seq] { retransmit(seq); });
+  {
+    // The retry timer is this node's own event: key/place it on this
+    // node's domain so handle_ack's cancel is always same-shard.
+    const common::ActorScope as(domain_);
+    p.timer = net_.sim().schedule_after(p.timeout,
+                                        [this, seq] { retransmit(seq); });
+  }
   p.msg = std::move(msg);  // retransmission copy; payload ptr is shared
   pending_sends_.emplace(seq, std::move(p));
   return true;
@@ -134,6 +141,7 @@ void PastryNode::retransmit(std::uint64_t seq) {
   }
   if (net_.transmit(id_, p.to, p.msg, p.cls)) {
     p.timeout *= 2;  // exponential backoff
+    const common::ActorScope as(domain_);
     p.timer = net_.sim().schedule_after(p.timeout,
                                         [this, seq] { retransmit(seq); });
     return;

@@ -11,8 +11,9 @@ using metrics::DropReason;
 using metrics::SpanKind;
 using overlay::PayloadPtr;
 
-PubSubNode::PubSubNode(overlay::OverlayNode& overlay, sim::Simulator& sim,
-                       const AkMapping& mapping, PubSubConfig cfg)
+PubSubNode::PubSubNode(overlay::OverlayNode& overlay,
+                       sim::SimulatorBase& sim, const AkMapping& mapping,
+                       PubSubConfig cfg)
     : overlay_(overlay), sim_(sim), mapping_(mapping), cfg_(cfg) {
   store_.use_engine(cfg_.match_engine, mapping_.schema());
   overlay_.set_app(this);
@@ -372,6 +373,9 @@ void PubSubNode::buffer_notification(Key subscriber, Notification n) {
   notify_buffer_[subscriber].push_back(std::move(n));
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
+    // The flush timer is this node's own event: key/place it on this
+    // node's overlay domain (same shard as the rest of its state).
+    const common::ActorScope as(overlay_.domain());
     sim_.schedule_after(cfg_.buffer_period, [this] {
       flush_scheduled_ = false;
       if (!halted_) flush_notify_buffer();
@@ -419,6 +423,7 @@ void PubSubNode::enqueue_collect(CollectItem item) {
   queue.push_back(std::move(item));
   if (!collect_scheduled_) {
     collect_scheduled_ = true;
+    const common::ActorScope as(overlay_.domain());
     sim_.schedule_after(cfg_.buffer_period, [this] {
       collect_scheduled_ = false;
       if (!halted_) flush_collect_buffers();
@@ -474,6 +479,7 @@ void PubSubNode::schedule_sweep() {
   if (sweep_scheduled_ && sweep_at_ <= at) return;
   sweep_scheduled_ = true;
   sweep_at_ = at;
+  const common::ActorScope as(overlay_.domain());
   sim_.schedule_at(at, [this, at] {
     if (sweep_at_ != at) return;  // superseded by an earlier sweep
     sweep_scheduled_ = false;

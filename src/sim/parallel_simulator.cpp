@@ -1,0 +1,303 @@
+#include "cbps/sim/parallel_simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cbps/common/logging.hpp"
+
+namespace cbps::sim {
+
+namespace {
+
+// Worker identity for the window currently executing on this thread.
+// Null engine = not inside a parallel window (global context).
+struct TlWorker {
+  ParallelSimulator* engine = nullptr;
+  std::uint32_t core = 0;
+};
+thread_local TlWorker tl_worker;
+
+std::uint64_t global_clock_now_us(const void* ctx) {
+  return static_cast<const ParallelSimulator*>(ctx)->now();
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(unsigned threads, SimTime lookahead)
+    : shards_(std::max(1u, threads)),
+      lookahead_(lookahead),
+      pool_(shards_) {
+  CBPS_ASSERT_MSG(shards_ <= 63, "EventId core field is 6 bits");
+  CBPS_ASSERT_MSG(lookahead_ > 0,
+                  "zero lookahead would deadlock the epoch barrier; use "
+                  "the serial engine for zero-delay latency models");
+  cores_.reserve(shards_ + 1);
+  for (std::uint32_t c = 0; c <= shards_; ++c) {
+    cores_.push_back(std::make_unique<CoreState>(c));
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+SimTime ParallelSimulator::now() const {
+  const TlWorker& tl = tl_worker;
+  if (tl.engine == this) return cores_[tl.core]->cur_time;
+  return now_;
+}
+
+std::uint64_t ParallelSimulator::next_key(Domain actor) {
+  if (actor == 0) {
+    CBPS_ASSERT_MSG(tl_worker.engine != this,
+                    "global-domain scheduling from a worker");
+    return detail::make_key(0, global_seq_++);
+  }
+  CBPS_ASSERT_MSG(actor < next_domain_,
+                  "acting domain not registered with this engine");
+  const std::uint32_t i = actor - 1;
+  return detail::make_key(actor,
+                          dom_seq_[i / kDomainBlock].v[i % kDomainBlock]++);
+}
+
+ParallelSimulator::EventId ParallelSimulator::schedule_at(SimTime t,
+                                                          Callback cb) {
+  const Domain actor = common::exec_context().actor_domain;
+  const std::uint32_t core = core_of(actor);
+  if (tl_worker.engine == this) {
+    CBPS_ASSERT_MSG(core == tl_worker.core,
+                    "worker scheduling onto a foreign shard without "
+                    "schedule_for");
+  } else {
+    CBPS_ASSERT_MSG(t >= now_, "scheduling into the past");
+  }
+  return cores_[core]->ev.schedule(t, next_key(actor), actor,
+                                   std::move(cb));
+}
+
+ParallelSimulator::EventId ParallelSimulator::schedule_for(Domain target,
+                                                           SimTime t,
+                                                           Callback cb) {
+  const Domain actor = common::exec_context().actor_domain;
+  const std::uint64_t key = next_key(actor);
+  const std::uint32_t tc = core_of(target);
+  if (tl_worker.engine == this) {
+    CoreState& own = *cores_[tl_worker.core];
+    if (tc == tl_worker.core) {
+      return own.ev.schedule(t, key, target, std::move(cb));
+    }
+    // Cross-shard: must be outside the running window (network
+    // transmission delay >= lookahead guarantees this) so the target
+    // shard cannot race with its own present.
+    CBPS_ASSERT_MSG(t >= window_end_,
+                    "cross-shard event inside the lookahead window");
+    own.outbox.push_back(OutboxEntry{tc, target, t, key, std::move(cb)});
+    return kInvalidEvent;
+  }
+  // Global context (barriers, setup). An event closer than one
+  // lookahead runs on the global core so it keeps its canonical-key
+  // position among the other global-context events at that time.
+  CBPS_ASSERT_MSG(t >= now_, "scheduling into the past");
+  const std::uint32_t core = t >= now_ + lookahead_ ? tc : 0u;
+  return cores_[core]->ev.schedule(t, key, target, std::move(cb));
+}
+
+bool ParallelSimulator::cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t core = detail::EventCore::core_of_id(id);
+  CBPS_ASSERT(core < cores_.size());
+  CBPS_ASSERT_MSG(tl_worker.engine != this || core == tl_worker.core,
+                  "cross-shard cancel from a worker");
+  return cores_[core]->ev.cancel(id);
+}
+
+ParallelSimulator::TimerId ParallelSimulator::add_timer(SimTime period,
+                                                        SimTime first_delay,
+                                                        Callback cb) {
+  CBPS_ASSERT_MSG(period > 0, "zero-period timer would livelock");
+  const Domain owner = common::exec_context().actor_domain;
+  const std::uint32_t core = core_of(owner);
+  CBPS_ASSERT_MSG(tl_worker.engine != this || core == tl_worker.core,
+                  "timer owned by a foreign shard");
+  auto& ev = cores_[core]->ev;
+  const std::uint64_t local = ev.next_timer_seq++;
+  ev.timers.emplace(
+      local, detail::EventCore::TimerState{
+                 period, std::make_shared<Callback>(std::move(cb)),
+                 kInvalidEvent, owner});
+  auto& st = ev.timers.at(local);
+  st.next_event =
+      ev.schedule(now() + first_delay, next_key(owner), owner,
+                  [this, core, local] { fire_timer(core, local); });
+  return (static_cast<TimerId>(core) << 56) | local;
+}
+
+void ParallelSimulator::fire_timer(std::uint32_t core_idx,
+                                   std::uint64_t local_id) {
+  auto& ev = cores_[core_idx]->ev;
+  auto it = ev.timers.find(local_id);
+  CBPS_ASSERT(it != ev.timers.end());
+  // Pin the body (the callback may cancel_timer, erasing the state);
+  // rearm before the body runs, as the serial engine does.
+  const std::shared_ptr<Callback> body = it->second.cb;
+  auto& st = it->second;
+  st.next_event = ev.schedule(
+      now() + st.period, next_key(st.owner), st.owner,
+      [this, core_idx, local_id] { fire_timer(core_idx, local_id); });
+  (*body)();
+}
+
+bool ParallelSimulator::cancel_timer(TimerId id) {
+  const auto core = static_cast<std::uint32_t>(id >> 56);
+  const std::uint64_t local = id & ((std::uint64_t{1} << 56) - 1);
+  if (core >= cores_.size()) return false;
+  CBPS_ASSERT_MSG(tl_worker.engine != this || core == tl_worker.core,
+                  "cross-shard timer cancel from a worker");
+  auto& ev = cores_[core]->ev;
+  auto it = ev.timers.find(local);
+  if (it == ev.timers.end()) return false;
+  ev.cancel(it->second.next_event);
+  ev.timers.erase(it);
+  return true;
+}
+
+SimulatorBase::Domain ParallelSimulator::register_domain() {
+  CBPS_ASSERT_MSG(tl_worker.engine != this,
+                  "domains register from global context only");
+  const Domain d = next_domain_++;
+  const std::uint32_t block = (d - 1) / kDomainBlock;
+  if (block >= dom_seq_.size()) dom_seq_.resize(block + 1);
+  return d;
+}
+
+void ParallelSimulator::run_shard(std::uint32_t core_idx,
+                                  SimTime window_end) {
+  CoreState& c = *cores_[core_idx];
+  tl_worker = TlWorker{this, core_idx};
+  const logctx::ScopedClock clock(this, &global_clock_now_us);
+  auto& x = common::exec_context();
+  detail::EventCore::Popped ev;
+  while (true) {
+    const SimTime t = c.ev.min_time();
+    if (t >= window_end) break;
+    c.ev.pop(ev);
+    c.cur_time = ev.time;
+    x.time = ev.time;
+    x.actor_domain = ev.target;
+    x.event_key = ev.key;
+    x.emit_seq = 0;
+    x.stripe = core_idx;
+    ev.cb();
+  }
+  x.actor_domain = common::kGlobalDomain;
+  x.event_key = 0;
+  x.stripe = 0;
+  tl_worker = TlWorker{};
+}
+
+void ParallelSimulator::run_global_batch(SimTime g) {
+  now_ = g;
+  CoreState& c0 = *cores_[0];
+  c0.cur_time = g;
+  auto& x = common::exec_context();
+  detail::EventCore::Popped ev;
+  // New global events at time g scheduled by the batch itself join the
+  // batch (min_time re-checks); shard events wait for the next window.
+  while (c0.ev.min_time() == g) {
+    c0.ev.pop(ev);
+    x.time = g;
+    x.actor_domain = ev.target;
+    x.event_key = ev.key;
+    x.emit_seq = 0;
+    x.stripe = 0;
+    ev.cb();
+  }
+  x.actor_domain = common::kGlobalDomain;
+  x.event_key = 0;
+}
+
+std::uint64_t ParallelSimulator::run_loop(SimTime limit,
+                                          std::uint64_t max_events) {
+  const logctx::ScopedClock clock(this, &global_clock_now_us);
+  const std::uint64_t start = events_processed();
+  while (events_processed() - start < max_events) {
+    const SimTime g = cores_[0]->ev.min_time();
+    SimTime m = kSimTimeNever;
+    for (std::uint32_t s = 1; s <= shards_; ++s) {
+      m = std::min(m, cores_[s]->ev.min_time());
+    }
+    const SimTime t = std::min(g, m);
+    if (t == kSimTimeNever || t > limit) break;
+    if (g <= m) {
+      // Canonical order: at equal time, global-domain keys precede all
+      // node keys, so the whole global batch at g runs first.
+      run_global_batch(g);
+      continue;
+    }
+    // Parallel window over [m, w).
+    SimTime w = std::min(m + lookahead_, g);  // g may be kSimTimeNever
+    if (limit != kSimTimeNever && w > limit) w = limit + 1;
+    window_end_ = w;
+    for (std::uint32_t s = 1; s <= shards_; ++s) {
+      pool_.submit([this, s, w] { run_shard(s, w); });
+    }
+    pool_.wait();
+    // Barrier merge of cross-shard events, shard order. The order is
+    // cosmetic: keys were allocated at schedule time and heaps order by
+    // (time, key), so execution order is insertion-independent.
+    for (std::uint32_t s = 1; s <= shards_; ++s) {
+      auto& ob = cores_[s]->outbox;
+      for (auto& e : ob) {
+        cores_[e.target_core]->ev.schedule(e.time, e.key, e.target,
+                                           std::move(e.cb));
+      }
+      ob.clear();
+    }
+    now_ = std::max(now_, std::min(w, limit));
+    common::exec_context().time = now_;
+  }
+  return events_processed() - start;
+}
+
+std::uint64_t ParallelSimulator::run(std::uint64_t max_events) {
+  const std::uint64_t n = run_loop(kSimTimeNever, max_events);
+  // Land the clock on the last processed event, as the serial engine's
+  // run() does.
+  SimTime end = now_;
+  for (const auto& c : cores_) end = std::max(end, c->ev.floor_time());
+  now_ = end;
+  common::exec_context().time = now_;
+  return n;
+}
+
+std::uint64_t ParallelSimulator::run_until(SimTime t) {
+  CBPS_ASSERT(t >= now_);
+  const std::uint64_t n = run_loop(t, ~std::uint64_t{0});
+  now_ = t;
+  common::exec_context().time = now_;
+  return n;
+}
+
+std::size_t ParallelSimulator::pending_events() const {
+  std::size_t n = 0;
+  for (const auto& c : cores_) n += c->ev.live();
+  return n;
+}
+
+std::uint64_t ParallelSimulator::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cores_) n += c->ev.processed();
+  return n;
+}
+
+std::uint64_t ParallelSimulator::stale_entries_skipped() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cores_) n += c->ev.stale_skipped();
+  return n;
+}
+
+std::uint64_t ParallelSimulator::heap_compactions() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cores_) n += c->ev.compactions();
+  return n;
+}
+
+}  // namespace cbps::sim

@@ -1,6 +1,5 @@
 #include "cbps/sim/simulator.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "cbps/common/logging.hpp"
@@ -8,13 +7,6 @@
 namespace cbps::sim {
 
 namespace {
-
-struct HeapGreater {
-  template <typename T>
-  bool operator()(const T& a, const T& b) const {
-    return a > b;
-  }
-};
 
 // Clock hook for log-line prefixes: installed once per dispatch loop
 // (not per event) so the hot path pays nothing.
@@ -24,136 +16,108 @@ std::uint64_t log_clock_now_us(const void* ctx) {
 
 }  // namespace
 
+Simulator::Simulator() : dom_seq_(1, 0) {}
+
+std::uint64_t Simulator::next_key() {
+  const Domain actor = common::exec_context().actor_domain;
+  CBPS_ASSERT_MSG(actor < dom_seq_.size(),
+                  "acting domain not registered with this engine");
+  return detail::make_key(actor, dom_seq_[actor]++);
+}
+
 Simulator::EventId Simulator::schedule_at(SimTime t, Callback cb) {
   CBPS_ASSERT_MSG(t >= now_, "scheduling into the past");
-  CBPS_ASSERT(static_cast<bool>(cb));
-  std::uint32_t slot;
-  if (free_head_ != kNoSlot) {
-    slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  Slot& s = slots_[slot];
-  s.cb = std::move(cb);
-  s.armed = true;
-  const EventId id = make_id(s.gen, slot);
-  heap_.push_back(HeapEntry{t, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
-  ++live_;
-  return id;
+  return core_.schedule(t, next_key(), common::exec_context().actor_domain,
+                        std::move(cb));
 }
 
-void Simulator::release(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.cb = nullptr;
-  s.armed = false;
-  ++s.gen;
-  s.next_free = free_head_;
-  free_head_ = slot;
-  --live_;
+Simulator::EventId Simulator::schedule_for(Domain target, SimTime t,
+                                           Callback cb) {
+  CBPS_ASSERT_MSG(t >= now_, "scheduling into the past");
+  return core_.schedule(t, next_key(), target, std::move(cb));
 }
 
-bool Simulator::cancel(EventId id) {
-  if (!is_live(id)) return false;
-  release(slot_of(id));
-  // The heap entry stays behind and is skipped lazily when popped —
-  // unless stale entries now dominate, in which case rebuild.
-  maybe_compact();
-  return true;
-}
-
-void Simulator::maybe_compact() {
-  const std::size_t stale = heap_.size() - live_;
-  if (stale <= live_ || heap_.size() < 64) return;
-  std::erase_if(heap_,
-                [this](const HeapEntry& e) { return !is_live(e.id); });
-  std::make_heap(heap_.begin(), heap_.end(), HeapGreater{});
-}
-
-Simulator::TimerId Simulator::add_timer(SimTime period, Callback cb) {
-  return add_timer(period, period, std::move(cb));
-}
+bool Simulator::cancel(EventId id) { return core_.cancel(id); }
 
 Simulator::TimerId Simulator::add_timer(SimTime period, SimTime first_delay,
                                         Callback cb) {
   CBPS_ASSERT_MSG(period > 0, "zero-period timer would livelock");
-  const TimerId id = next_timer_id_++;
-  timers_.emplace(id, TimerState{period,
-                                 std::make_shared<Callback>(std::move(cb)),
-                                 kInvalidEvent});
-  auto& st = timers_.at(id);
-  st.next_event = schedule_after(first_delay, [this, id] { fire_timer(id); });
+  const Domain owner = common::exec_context().actor_domain;
+  const TimerId id = core_.next_timer_seq++;
+  core_.timers.emplace(
+      id, detail::EventCore::TimerState{
+              period, std::make_shared<Callback>(std::move(cb)),
+              kInvalidEvent, owner});
+  auto& st = core_.timers.at(id);
+  st.next_event = core_.schedule(now_ + first_delay, next_key(), owner,
+                                 [this, id] { fire_timer(id); });
   return id;
 }
 
-void Simulator::arm_timer(TimerId id) {
-  auto& st = timers_.at(id);
-  st.next_event =
-      schedule_after(st.period, [this, id] { fire_timer(id); });
-}
-
 void Simulator::fire_timer(TimerId id) {
-  auto it = timers_.find(id);
-  CBPS_ASSERT(it != timers_.end());
+  auto it = core_.timers.find(id);
+  CBPS_ASSERT(it != core_.timers.end());
   // Pin the body: the callback may cancel_timer(id), which erases the
   // timer state — the shared_ptr keeps the callable alive through the
-  // invocation without copying it.
+  // invocation without copying it. Rearm before the body runs (the seed
+  // engine's behavior; keeps the timer phase independent of body work).
   const std::shared_ptr<Callback> body = it->second.cb;
-  arm_timer(id);
+  auto& st = it->second;
+  st.next_event = core_.schedule(now_ + st.period, next_key(), st.owner,
+                                 [this, id] { fire_timer(id); });
   (*body)();
 }
 
 bool Simulator::cancel_timer(TimerId id) {
-  auto it = timers_.find(id);
-  if (it == timers_.end()) return false;
-  cancel(it->second.next_event);
-  timers_.erase(it);
+  auto it = core_.timers.find(id);
+  if (it == core_.timers.end()) return false;
+  core_.cancel(it->second.next_event);
+  core_.timers.erase(it);
   return true;
 }
 
+SimulatorBase::Domain Simulator::register_domain() {
+  const auto d = static_cast<Domain>(dom_seq_.size());
+  dom_seq_.push_back(0);
+  return d;
+}
+
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
-    heap_.pop_back();
-    if (!is_live(top.id)) continue;  // cancelled
-    CBPS_ASSERT(top.time >= now_);
-    now_ = top.time;
-    const std::uint32_t slot = slot_of(top.id);
-    Callback cb = std::move(slots_[slot].cb);
-    release(slot);
-    ++processed_;
-    cb();
-    return true;
-  }
-  return false;
+  detail::EventCore::Popped ev;
+  if (!core_.pop(ev)) return false;
+  now_ = ev.time;
+  auto& x = common::exec_context();
+  x.time = ev.time;
+  x.actor_domain = ev.target;
+  x.event_key = ev.key;
+  x.emit_seq = 0;
+  x.stripe = 0;
+  ev.cb();
+  x.actor_domain = common::kGlobalDomain;
+  x.event_key = 0;
+  return true;
 }
 
 std::uint64_t Simulator::run(std::uint64_t max_events) {
   const logctx::ScopedClock clock(this, &log_clock_now_us);
   std::uint64_t n = 0;
   while (n < max_events && step()) ++n;
+  common::exec_context().time = now_;
   return n;
 }
 
 std::uint64_t Simulator::run_until(SimTime t) {
   const logctx::ScopedClock clock(this, &log_clock_now_us);
   std::uint64_t n = 0;
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_.front();
-    if (!is_live(top.id)) {
-      std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
-      heap_.pop_back();
-      continue;
-    }
-    if (top.time > t) break;
+  while (true) {
+    const SimTime next = core_.min_time();
+    if (next == kSimTimeNever || next > t) break;
     step();
     ++n;
   }
   CBPS_ASSERT(t >= now_);
   now_ = t;
+  common::exec_context().time = now_;
   return n;
 }
 

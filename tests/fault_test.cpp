@@ -241,10 +241,17 @@ TEST(AdaptiveRtoTest, KarnRuleIgnoresAcksOfRetransmittedSends) {
   // Drop exactly the first transmission: the message is delivered by its
   // retransmit, whose ack is ambiguous (which copy does it answer?), so
   // it must NOT feed the estimator — the RTO stays at retry_base.
+  // Clones (the per-sender channels) share the counter so exactly the
+  // first N transmissions anywhere are dropped, not N per sender.
   struct DropFirstN final : sim::LossModel {
-    explicit DropFirstN(int n) : left(n) {}
-    bool drop(Rng&) override { return left-- > 0; }
-    int left;
+    explicit DropFirstN(int n) : left(std::make_shared<int>(n)) {}
+    bool drop(Rng&) override { return (*left)-- > 0; }
+    std::unique_ptr<sim::LossModel> clone() const override {
+      auto copy = std::make_unique<DropFirstN>(0);
+      copy->left = left;
+      return copy;
+    }
+    std::shared_ptr<int> left;
   };
 
   chord::ChordConfig cfg;

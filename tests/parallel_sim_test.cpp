@@ -1,0 +1,289 @@
+// Determinism property tests for the epoch-synchronous sharded engine:
+// the same seeded workload through the serial engine and through 2/4/8
+// shards must produce bit-identical delivery oracles, metrics and
+// traces — plus the epoch-boundary regressions for run_until and
+// periodic timers, and the zero-lookahead serial fallback.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cbps/common/exec_context.hpp"
+#include "cbps/pubsub/delivery_checker.hpp"
+#include "cbps/pubsub/system.hpp"
+#include "cbps/sim/latency.hpp"
+#include "cbps/sim/parallel_simulator.hpp"
+#include "cbps/sim/simulator.hpp"
+#include "cbps/workload/churn.hpp"
+#include "cbps/workload/driver.hpp"
+#include "cbps/workload/fault_script.hpp"
+#include "harness.hpp"
+
+using namespace cbps;
+
+namespace {
+
+// Everything a run observably produces: the delivery oracle, the
+// reliability counters, the latency/hop distributions and the final
+// engine state. Two engines agree iff these agree exactly.
+struct WorkloadSummary {
+  std::uint64_t expected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t spurious = 0;
+  std::uint64_t dups_suppressed = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t send_failed = 0;
+  std::uint64_t total_hops = 0;
+  double delay_p50 = 0;
+  double delay_p99 = 0;
+  double hops_p50 = 0;
+  double hops_p99 = 0;
+  std::uint64_t sim_events = 0;
+  sim::SimTime final_now = 0;
+
+  bool operator==(const WorkloadSummary&) const = default;
+};
+
+// A pub/sub run with everything turned on at once: lossy wire via a
+// fault script, a mid-run partition, Poisson churn with crashes, the
+// reliable transport and the end-to-end duplicate filter.
+WorkloadSummary run_workload(std::size_t sim_threads) {
+  std::string error;
+  const auto script = workload::FaultScript::parse(
+      "loss at=0 model=uniform rate=0.02; "
+      "partition at=200 heal=400 frac=0.3",
+      &error);
+  EXPECT_TRUE(script.has_value()) << error;
+
+  pubsub::SystemConfig cfg;
+  cfg.nodes = 48;
+  cfg.seed = 1234;
+  cfg.chord.ring = RingParams{12};
+  cfg.chord.stabilize_period = sim::sec(5);
+  cfg.chord.force_reliable = script->needs_reliable_transport();
+  cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
+  cfg.pubsub.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
+  cfg.sim_threads = sim_threads;
+  pubsub::PubSubSystem system(cfg, pubsub::Schema::uniform(3, 9'999));
+  EXPECT_EQ(system.sim().thread_count(),
+            static_cast<unsigned>(sim_threads));
+  system.network().start_maintenance_all();
+
+  workload::FaultScriptRunner fault_runner(system, *script, cfg.seed);
+  fault_runner.start();
+
+  pubsub::DeliveryChecker checker;
+  workload::WorkloadParams wp;
+  wp.matching_probability = 0.8;
+  workload::WorkloadGenerator gen(system.schema(), wp, 17);
+  workload::DriverParams dp;
+  dp.max_subscriptions = 40;
+  dp.max_publications = 150;
+  dp.sub_interval = sim::sec(5);
+  workload::Driver driver(system, gen, dp, &checker);
+  driver.start();
+
+  workload::ChurnParams cp;
+  cp.mean_interval_s = 60.0;
+  cp.join_fraction = 0.4;
+  cp.crash_fraction = 0.5;
+  cp.min_nodes = 32;
+  workload::ChurnDriver churn(system, cp, 99, [&driver](Key id) {
+    for (const auto& sub : driver.active_subscriptions()) {
+      if (sub->subscriber == id) return true;
+    }
+    return false;
+  });
+  churn.set_delivery_checker(&checker);
+  churn.start();
+
+  system.run_for(sim::sec(900));
+  churn.stop();
+  system.run_for(sim::sec(120));
+
+  const auto report = checker.verify(/*grace=*/sim::sec(10));
+  metrics::Registry& reg = system.network().registry();
+  WorkloadSummary s;
+  s.expected = report.expected;
+  s.delivered = report.delivered;
+  s.missing = report.missing;
+  s.duplicates = report.duplicates;
+  s.spurious = report.spurious;
+  s.dups_suppressed = system.duplicates_suppressed();
+  s.lost = reg.counter_value("chord.net.lost");
+  s.retransmits = reg.counter_value("chord.retransmits");
+  s.send_failed = reg.counter_value("chord.send_failed");
+  for (std::size_t c = 0; c < overlay::kMessageClassCount; ++c) {
+    s.total_hops +=
+        system.traffic().hops(static_cast<overlay::MessageClass>(c));
+  }
+  const metrics::Histogram delay = system.delay_histogram();
+  s.delay_p50 = delay.p50();
+  s.delay_p99 = delay.p99();
+  s.hops_p50 = reg.histogram("chord.route_hops").p50();
+  s.hops_p99 = reg.histogram("chord.route_hops").p99();
+  s.sim_events = system.sim().events_processed();
+  s.final_now = system.sim().now();
+  return s;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ParallelWorkloadTest, ChurnFaultWorkloadIdenticalAcrossShardCounts) {
+  const WorkloadSummary serial = run_workload(1);
+  // The oracle itself must show a live run, or equality proves nothing.
+  EXPECT_GT(serial.expected, 0u);
+  EXPECT_GT(serial.retransmits, 0u);
+  for (const std::size_t threads : {2, 4, 8}) {
+    const WorkloadSummary sharded = run_workload(threads);
+    EXPECT_EQ(serial, sharded) << "divergence at " << threads << " shards";
+  }
+}
+
+TEST(ParallelWorkloadTest, ExperimentTraceAndResultBitIdentical) {
+  auto run = [](std::size_t threads, const std::string& trace) {
+    bench::ExperimentConfig cfg;
+    cfg.nodes = 120;
+    cfg.subscriptions = 150;
+    cfg.publications = 150;
+    cfg.sub_transport = pubsub::PubSubConfig::Transport::kMulticast;
+    cfg.verify = true;
+    cfg.trace_path = trace;
+    cfg.sim_threads = threads;
+    return bench::run_experiment(cfg);
+  };
+  const std::string t1 = testing::TempDir() + "par_sim_t1.jsonl";
+  const std::string t4 = testing::TempDir() + "par_sim_t4.jsonl";
+  const bench::ExperimentResult a = run(1, t1);
+  const bench::ExperimentResult b = run(4, t4);
+
+  EXPECT_EQ(a.sim_threads, 1u);
+  EXPECT_EQ(b.sim_threads, 4u);
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+  EXPECT_GT(a.notifications_delivered, 0u);
+  EXPECT_EQ(a.notifications_delivered, b.notifications_delivered);
+  EXPECT_EQ(a.subscribe_hops, b.subscribe_hops);
+  EXPECT_EQ(a.publish_hops, b.publish_hops);
+  EXPECT_EQ(a.notify_hops, b.notify_hops);
+  EXPECT_EQ(a.max_subs_per_node, b.max_subs_per_node);
+  EXPECT_EQ(a.expected_deliveries, b.expected_deliveries);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.trace_spans, b.trace_spans);
+  // Doubles too: bit-identical, not just close.
+  EXPECT_EQ(a.avg_notification_delay_s, b.avg_notification_delay_s);
+  EXPECT_EQ(a.delay_p99_s, b.delay_p99_s);
+  EXPECT_EQ(a.hops_p99, b.hops_p99);
+
+  const std::string trace_a = slurp(t1);
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, slurp(t4));
+  std::remove(t1.c_str());
+  std::remove(t4.c_str());
+}
+
+TEST(ParallelWorkloadTest, ZeroDelayModelFallsBackToSerial) {
+  pubsub::SystemConfig cfg;
+  cfg.nodes = 8;
+  cfg.message_delay = 0;  // lookahead would be 0 — engine must go serial
+  cfg.sim_threads = 4;
+  pubsub::PubSubSystem system(cfg, pubsub::Schema::uniform(2, 99));
+  EXPECT_EQ(system.sim().thread_count(), 1u);
+}
+
+TEST(ParallelWorkloadTest, LatencyModelsReportMinDelay) {
+  Rng rng(1);
+  sim::FixedLatency fixed(sim::ms(50));
+  EXPECT_EQ(fixed.min_delay(), sim::ms(50));
+  sim::UniformLatency uni(sim::ms(10), sim::ms(90));
+  EXPECT_EQ(uni.min_delay(), sim::ms(10));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(uni.sample(rng), uni.min_delay());
+  }
+  // An unbounded model keeps the base default, the serial-fallback
+  // sentinel.
+  struct Unbounded final : sim::LatencyModel {
+    sim::SimTime sample(Rng&) override { return sim::ms(1); }
+  } unbounded;
+  EXPECT_EQ(unbounded.min_delay(), 0);
+}
+
+// Regression (satellite bugfix): a periodic timer whose ticks land
+// exactly on epoch boundaries, driven by run_until calls that also land
+// exactly on epoch boundaries. Every tick must fire exactly once —
+// whether it sits on the global core or on a shard — and a repeated
+// run_until at the same boundary must not re-fire it.
+TEST(EpochBoundaryTest, RunUntilPeriodicTimerAtExactBoundary) {
+  const sim::SimTime period = sim::ms(50);  // == the engine lookahead
+  auto drive = [&](sim::SimulatorBase& sim) {
+    std::vector<sim::SimTime> global_fires;
+    std::vector<sim::SimTime> shard_fires;
+    sim.add_timer(period,
+                  [&global_fires, &sim] { global_fires.push_back(sim.now()); });
+    const common::Domain d = sim.register_domain();
+    {
+      const common::ActorScope as(d);
+      sim.add_timer(period,
+                    [&shard_fires, &sim] { shard_fires.push_back(sim.now()); });
+    }
+    sim.run_until(sim::ms(500));
+    const std::size_t global_at_500 = global_fires.size();
+    const std::size_t shard_at_500 = shard_fires.size();
+    sim.run_until(sim::ms(500));  // same boundary again: no re-fire
+    EXPECT_EQ(global_fires.size(), global_at_500);
+    EXPECT_EQ(shard_fires.size(), shard_at_500);
+    sim.run_until(sim::ms(1000));
+    EXPECT_EQ(sim.now(), sim::ms(1000));
+    global_fires.insert(global_fires.end(), shard_fires.begin(),
+                        shard_fires.end());
+    return global_fires;
+  };
+
+  sim::Simulator serial;
+  const auto expected = drive(serial);
+  // run_until is inclusive: ticks at 50, 100, ..., 1000 → 20 per timer.
+  ASSERT_EQ(expected.size(), 40u);
+  EXPECT_EQ(expected.front(), period);
+  EXPECT_EQ(expected[19], sim::ms(1000));
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    sim::ParallelSimulator par(threads, period);
+    EXPECT_EQ(drive(par), expected) << threads << " threads";
+  }
+}
+
+// One-shot events scheduled exactly at the run_until boundary and one
+// tick past it: the boundary event fires, the later one stays pending.
+TEST(EpochBoundaryTest, BoundaryEventFiresLaterEventStaysPending) {
+  auto drive = [](sim::SimulatorBase& sim) {
+    int at_boundary = 0;
+    int past_boundary = 0;
+    const common::Domain d = sim.register_domain();
+    {
+      const common::ActorScope as(d);
+      sim.schedule_at(sim::ms(200), [&at_boundary] { ++at_boundary; });
+      sim.schedule_at(sim::ms(200) + 1, [&past_boundary] { ++past_boundary; });
+    }
+    sim.run_until(sim::ms(200));
+    EXPECT_EQ(at_boundary, 1);
+    EXPECT_EQ(past_boundary, 0);
+    sim.run();
+    EXPECT_EQ(past_boundary, 1);
+  };
+  sim::Simulator serial;
+  drive(serial);
+  sim::ParallelSimulator par(4, sim::ms(50));
+  drive(par);
+}
+
+}  // namespace
