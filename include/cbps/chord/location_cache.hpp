@@ -9,8 +9,8 @@
 
 #include <cstddef>
 #include <list>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cbps/common/ring.hpp"
@@ -40,13 +40,20 @@ class LocationCache {
   const std::list<Key>& nodes() const { return lru_; }
 
  private:
-  void touch(std::unordered_map<Key, std::pair<Key, std::list<Key>::iterator>>::iterator it);
+  // Ordered map on purpose (determinism rule D1): find_owner scans for a
+  // covering entry, and several entries can cover one key — the winner
+  // must be a pure function of the cache contents, not hash-bucket
+  // layout. The cache is LRU-capped at a few dozen entries, so the
+  // O(log n) ops cost nothing measurable.
+  using Map = std::map<Key, std::pair<Key, std::list<Key>::iterator>>;
+
+  void touch(Map::iterator it);
 
   RingParams ring_;
   std::size_t capacity_;
   // LRU list: most recently used at front. Map: node -> (range_lo, list pos).
   std::list<Key> lru_;
-  std::unordered_map<Key, std::pair<Key, std::list<Key>::iterator>> map_;
+  Map map_;
 };
 
 }  // namespace cbps::chord

@@ -132,8 +132,11 @@ class Logger {
 
  private:
   Logger() = default;
+  // detlint: concurrency-ok(global log level read by concurrent sweep workers)
   std::atomic<LogLevel> level_ = LogLevel::kWarn;
+  // detlint: concurrency-ok(global log level read by concurrent sweep workers)
   std::atomic<LogLevel> ring_level_ = LogLevel::kInfo;
+  // detlint: concurrency-ok(whole-line console/ring mutex; log text never feeds run state)
   mutable std::mutex write_mu_;
   std::deque<std::string> ring_;
 };

@@ -1,0 +1,66 @@
+// Deterministic iteration over unordered containers.
+//
+// The engine's bit-identical contract (see DESIGN.md "Determinism
+// contract", rule D1) forbids letting hash-table iteration order reach
+// anything observable: output bytes, metrics, trace spans, or the order
+// in which messages are sent (message order shifts RNG draws and event
+// keys, so a different bucket layout would change the whole run).
+// `sorted_view()` is the one sanctioned way to walk an unordered
+// container when the loop body has observable effects: it snapshots
+// pointers to the elements and sorts them by key (maps) or by value
+// (sets), making the walk a pure function of the container's *contents*.
+//
+// The snapshot is pointer-based, so the usual invalidation rule applies:
+// do not insert into or erase from the underlying container while
+// iterating the view. Mutating mapped values through a non-const view is
+// fine — that is the intended use for flush-style loops.
+//
+// detlint (tools/detlint) enforces rule D1 mechanically: it flags every
+// iteration over a `std::unordered_{map,set}` that is not routed through
+// sorted_view() or carrying an `unordered-ok(<reason>)` waiver comment
+// (syntax in DESIGN.md "Determinism contract").
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+namespace cbps {
+
+namespace detail {
+
+template <typename C, typename = void>
+struct is_map_like : std::false_type {};
+
+template <typename C>
+struct is_map_like<C, std::void_t<typename C::mapped_type>>
+    : std::true_type {};
+
+}  // namespace detail
+
+/// Snapshot the elements of `c` as a vector of pointers sorted by key
+/// (map-like containers) or by value (set-like containers). Key/value
+/// types must have `operator<` — true for every key the engine uses
+/// (integer ids, strings). Non-const containers yield mutable element
+/// pointers so callers can move batches out of mapped values.
+template <typename C>
+auto sorted_view(C& c) {
+  // Set elements are immutable through iterators, so set views are
+  // always const; map views are mutable when the map is.
+  using Elem = std::conditional_t<
+      std::is_const_v<C> || !detail::is_map_like<C>::value,
+      const typename C::value_type, typename C::value_type>;
+  std::vector<Elem*> view;
+  view.reserve(c.size());
+  for (Elem& e : c) view.push_back(&e);
+  if constexpr (detail::is_map_like<C>::value) {
+    std::sort(view.begin(), view.end(),
+              [](const Elem* a, const Elem* b) { return a->first < b->first; });
+  } else {
+    std::sort(view.begin(), view.end(),
+              [](const Elem* a, const Elem* b) { return *a < *b; });
+  }
+  return view;
+}
+
+}  // namespace cbps

@@ -27,6 +27,11 @@ void LocationCache::evict(Key node) {
 }
 
 std::optional<Key> LocationCache::find_owner(Key key) {
+  // Several cached entries can cover `key`; the map is ordered (see
+  // header) so the winner — and the route it shapes — is the lowest
+  // covering node id, a pure function of the cache contents. The old
+  // unordered_map scan returned whichever covering entry hashing put
+  // first: the PR 4 Registry::print bug class, on the routing path.
   for (auto it = map_.begin(); it != map_.end(); ++it) {
     const Key node = it->first;
     const Key range_lo = it->second.first;
@@ -38,9 +43,7 @@ std::optional<Key> LocationCache::find_owner(Key key) {
   return std::nullopt;
 }
 
-void LocationCache::touch(
-    std::unordered_map<Key, std::pair<Key, std::list<Key>::iterator>>::iterator
-        it) {
+void LocationCache::touch(Map::iterator it) {
   lru_.splice(lru_.begin(), lru_, it->second.second);
   it->second.second = lru_.begin();
 }

@@ -197,6 +197,7 @@ double ChordNetwork::slow_factor(Key id) const {
 
 void ChordNetwork::set_loss_model(std::unique_ptr<sim::LossModel> model) {
   loss_ = std::move(model);
+  // detlint: unordered-ok(every wire gets an identical fresh clone; commutative)
   for (auto& [_, ws] : wire_) {
     ws.loss = loss_ ? loss_->clone() : nullptr;
   }

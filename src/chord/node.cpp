@@ -5,6 +5,7 @@
 
 #include "cbps/chord/network.hpp"
 #include "cbps/common/logging.hpp"
+#include "cbps/common/sorted_view.hpp"
 #include "cbps/overlay/mcast_partition.hpp"
 
 namespace cbps::chord {
@@ -220,6 +221,7 @@ sim::SimTime ChordNode::rto_for(Key peer) const {
 sim::SimTime ChordNode::current_rto(Key peer) const { return rto_for(peer); }
 
 void ChordNode::cancel_pending_sends() {
+  // detlint: unordered-ok(cancel marks slots stale; commutative, no output)
   for (auto& [_, p] : pending_sends_) net_.sim().cancel(p.timer);
   pending_sends_.clear();
 }
@@ -247,8 +249,10 @@ void ChordNode::probe_remembered() {
   // Raw transmits on purpose: a probe that fails (the contact is truly
   // dead, or the partition still stands) must not re-trigger eviction —
   // the contact is already evicted; we are fishing for its return.
-  for (Key peer : remembered_) {
-    net_.transmit(id_, peer, GetNeighborsReq{id_}, MessageClass::kControl);
+  // Probe in key order: each transmit draws wire randomness, so probe
+  // order must be a function of the remembered set, not hash layout (D1).
+  for (const Key* peer : sorted_view(remembered_)) {
+    net_.transmit(id_, *peer, GetNeighborsReq{id_}, MessageClass::kControl);
   }
 }
 

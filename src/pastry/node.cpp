@@ -161,6 +161,7 @@ void PastryNode::handle_ack(std::uint64_t acked_seq) {
 }
 
 void PastryNode::cancel_pending_sends() {
+  // detlint: unordered-ok(cancel marks slots stale; commutative, no output)
   for (auto& [_, p] : pending_sends_) net_.sim().cancel(p.timer);
   pending_sends_.clear();
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "cbps/common/logging.hpp"
+#include "cbps/common/sorted_view.hpp"
 
 namespace cbps::pubsub {
 
@@ -148,12 +149,17 @@ SystemAuditReport audit_system(PubSubSystem& system) {
     // Rendezvous completeness: every subscription this node still holds
     // (issued, never withdrawn) must be stored at each of its oracle
     // rendezvous nodes.
-    for (const auto& [sub_id, own] : pn.own_subscriptions()) {
+    for (const auto* own_entry : sorted_view(pn.own_subscriptions())) {
+      const SubscriptionId sub_id = own_entry->first;
+      const auto& own = own_entry->second;
       std::unordered_set<Key> owners;
       for (Key k : system.mapping().subscription_keys(*own.sub)) {
         owners.insert(net.oracle_successor(k));
       }
-      for (Key owner : owners) {
+      // Issue text order must track subscription/owner ids, not hash
+      // layout (D1) — these lines land in test logs and audit output.
+      for (const Key* owner_p : sorted_view(owners)) {
+        const Key owner = *owner_p;
         const std::size_t oidx = system.index_of(owner);
         const auto* rec = system.pubsub_node(oidx).store().find(sub_id);
         if (rec != nullptr) continue;

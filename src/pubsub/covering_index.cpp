@@ -367,6 +367,7 @@ std::size_t CoveringIndex::memory_bytes() const {
            (sizeof(std::pair<const SubscriptionId, RootInfo>) +
             2 * sizeof(void*));
   bytes += roots_.bucket_count() * sizeof(void*);
+  // detlint: unordered-ok(order-independent byte sum)
   for (const auto& [_, info] : roots_) {
     bytes += info.children.capacity() * sizeof(SubscriptionPtr);
     bytes += info.covered.capacity() * sizeof(ClosedInterval);
@@ -383,6 +384,7 @@ std::size_t CoveringIndex::memory_bytes() const {
            (sizeof(std::pair<const std::uint64_t,
                              std::vector<SubscriptionId>>) +
             2 * sizeof(void*));
+  // detlint: unordered-ok(order-independent byte sum)
   for (const auto& [_, ids] : merge_map_) {
     bytes += ids.capacity() * sizeof(SubscriptionId);
   }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cbps/common/logging.hpp"
+#include "cbps/common/sorted_view.hpp"
 
 namespace cbps::pubsub {
 
@@ -70,7 +71,10 @@ void PubSubNode::subscribe(SubscriptionPtr sub, sim::SimTime ttl) {
 std::size_t PubSubNode::refresh_subscriptions() {
   if (halted_) return 0;
   std::size_t n = 0;
-  for (const auto& [id, own] : own_subs_) {
+  // Refresh sends draw wire randomness per message, so emission order
+  // must be a function of the subscription set, not hash layout (D1).
+  for (const auto* entry : sorted_view(own_subs_)) {
+    const OwnSub& own = entry->second;
     if (own.expires_at != sim::kSimTimeNever &&
         own.expires_at <= sim_.now()) {
       continue;  // already expired; a refresh must not resurrect it
@@ -384,7 +388,12 @@ void PubSubNode::buffer_notification(Key subscriber, Notification n) {
 }
 
 void PubSubNode::flush_notify_buffer() {
-  for (auto& [subscriber, batch] : notify_buffer_) {
+  // One NotifyMsg per subscriber, in subscriber-key order: send order
+  // decides wire RNG draws and event keys downstream, so it must not
+  // depend on the buffer's bucket layout (D1).
+  for (auto* entry : sorted_view(notify_buffer_)) {
+    const Key subscriber = entry->first;
+    std::vector<Notification>& batch = entry->second;
     if (batch.empty()) continue;
     ++notify_batches_sent_;
     notifications_sent_ += batch.size();

@@ -1,5 +1,9 @@
 #include "cbps/pubsub/store.hpp"
 
+#include <algorithm>
+
+#include "cbps/common/sorted_view.hpp"
+
 namespace cbps::pubsub {
 
 const char* to_string(MatchEngine engine) {
@@ -129,30 +133,43 @@ std::vector<const SubscriptionStore::Record*> SubscriptionStore::match(
     return out;
   }
   out.reserve(records_.size());
+  // The scan itself may walk in hash order — the result is canonicalized
+  // below, so no ordering escapes. Keeping the walk raw preserves the
+  // brute engine's cost profile at bench scale (10^6+ records).
+  // detlint: unordered-ok(full scan; result sorted by id before return)
   for (const auto& [_, rec] : records_) {
     if (rec.expires_at <= now) continue;
     if (rec.sub->matches(e)) out.push_back(&rec);
   }
+  // Brute force is the oracle engine: its match order must be a pure
+  // function of the stored set, not of bucket layout (D1).
+  std::sort(out.begin(), out.end(), [](const Record* a, const Record* b) {
+    return a->sub->id < b->sub->id;
+  });
   return out;
 }
 
 void SubscriptionStore::for_each(
     const std::function<void(const Record&)>& fn) const {
-  for (const auto& [_, rec] : records_) fn(rec);
+  // Callers forward replicas and emit audit issues from this callback:
+  // visit in id order so those side effects are deterministic (D1).
+  for (const auto* entry : sorted_view(records_)) fn(entry->second);
 }
 
 std::size_t SubscriptionStore::remove_if(
     const std::function<bool(const Record&)>& pred) {
-  std::size_t removed = 0;
-  for (auto it = records_.begin(); it != records_.end();) {
-    if (pred(it->second)) {
-      it = erase_record(it);
-      ++removed;
-    } else {
-      ++it;
-    }
+  // Erase in id order: removals mutate the match index's posting lists
+  // (swap-erase), so removal order shapes later match_into output (D1).
+  std::vector<SubscriptionId> doomed;
+  for (const auto* entry : sorted_view(records_)) {
+    if (pred(entry->second)) doomed.push_back(entry->first);
   }
-  return removed;
+  for (SubscriptionId id : doomed) {
+    const auto it = records_.find(id);
+    CBPS_ASSERT(it != records_.end());
+    erase_record(it);
+  }
+  return doomed.size();
 }
 
 void SubscriptionStore::note_owned_change() {

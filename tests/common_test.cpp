@@ -5,13 +5,18 @@
 #include <cmath>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "cbps/common/assert.hpp"
 #include "cbps/common/hash.hpp"
 #include "cbps/common/interval.hpp"
+#include "cbps/common/logging.hpp"
 #include "cbps/common/ring.hpp"
 #include "cbps/common/rng.hpp"
 #include "cbps/common/sha1.hpp"
+#include "cbps/common/sorted_view.hpp"
 
 namespace cbps {
 namespace {
@@ -361,6 +366,44 @@ TEST(RunningStatTest, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+}
+
+// Every CBPS_ASSERT failure — in benches and tools as much as under the
+// audit_* checks — must dump the logger's recent-lines ring: the lines
+// leading up to the violation are usually the story.
+TEST(AssertDeathTest, FailureDumpsRecentLogRing) {
+  EXPECT_DEATH(
+      {
+        Logger::instance().set_ring_level(LogLevel::kInfo);
+        CBPS_LOG_INFO << "breadcrumb before the assertion";
+        CBPS_ASSERT_MSG(false, "intentional");
+      },
+      "CBPS_ASSERT failed(.|\n)*recent log lines(.|\n)*breadcrumb before "
+      "the assertion");
+}
+
+TEST(SortedViewTest, MapSortedByKeySetByValue) {
+  std::unordered_map<int, std::string> m{{3, "c"}, {1, "a"}, {2, "b"}};
+  std::vector<int> keys;
+  for (const auto* e : sorted_view(m)) keys.push_back(e->first);
+  EXPECT_EQ(keys, (std::vector<int>{1, 2, 3}));
+
+  std::unordered_set<int> s{5, 9, 2};
+  std::vector<int> vals;
+  for (const int* v : sorted_view(s)) vals.push_back(*v);
+  EXPECT_EQ(vals, (std::vector<int>{2, 5, 9}));
+}
+
+TEST(SortedViewTest, MutableMapViewAllowsMovingValuesOut) {
+  std::unordered_map<int, std::vector<int>> m{{2, {4, 5}}, {1, {6}}};
+  std::vector<int> drained;
+  for (auto* e : sorted_view(m)) {
+    for (int v : e->second) drained.push_back(v);
+    e->second.clear();
+  }
+  EXPECT_EQ(drained, (std::vector<int>{6, 4, 5}));
+  EXPECT_TRUE(m.at(1).empty());
+  EXPECT_TRUE(m.at(2).empty());
 }
 
 }  // namespace

@@ -1,0 +1,30 @@
+// Clean file: ordered containers, parameter-seeded randomness, no raw
+// concurrency — nothing may fire here.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+struct OrderedRegistry {
+  std::map<std::string, int> counters_;
+  std::set<int> ids_;
+
+  int print_total() const {
+    int n = 0;
+    for (const auto& [name, c] : counters_) n += c + static_cast<int>(name.size());
+    for (int id : ids_) n += id;
+    return n;
+  }
+};
+
+// Seeds flow in as parameters, never from ambient sources.
+std::vector<int> make_sequence(unsigned long long seed, int count) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count));
+  unsigned long long s = seed;
+  for (int i = 0; i < count; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    out.push_back(static_cast<int>(s >> 33));
+  }
+  return out;
+}

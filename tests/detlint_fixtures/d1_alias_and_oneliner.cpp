@@ -1,0 +1,14 @@
+// D1: unordered types hidden behind a `using` alias, iterated by a
+// single-statement (braceless) range-for — both the alias and the
+// one-liner parse must be handled.
+#include <unordered_map>
+
+struct Store {
+  using RecordMap = std::unordered_map<unsigned long long, int>;
+  RecordMap records_;
+  int sink = 0;
+
+  void drain() {
+    for (auto& [id, v] : records_) sink += v;  // detlint-expect: D1
+  }
+};

@@ -1,0 +1,13 @@
+// D1: classic iterator loops over unordered containers are flagged too.
+#include <unordered_map>
+
+struct Cache {
+  std::unordered_map<int, int> map_;
+
+  int first_match(int key) {
+    for (auto it = map_.begin(); it != map_.end(); ++it) {  // detlint-expect: D1
+      if (it->second == key) return it->first;
+    }
+    return -1;
+  }
+};

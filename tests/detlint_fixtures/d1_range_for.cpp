@@ -1,0 +1,18 @@
+// D1: range-for over an unordered container must be flagged.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+  std::unordered_map<int, std::string> entries_;
+  std::unordered_set<int> ids_;
+
+  int walk() const {
+    int n = 0;
+    for (const auto& [id, name] : entries_) {  // detlint-expect: D1
+      n += id + static_cast<int>(name.size());
+    }
+    for (int id : ids_) n += id;  // detlint-expect: D1
+    return n;
+  }
+};

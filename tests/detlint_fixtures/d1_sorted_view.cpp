@@ -1,0 +1,17 @@
+// D1 escape: routing the iteration through cbps::sorted_view() is the
+// sanctioned deterministic walk — no finding, no waiver needed.
+#include <unordered_map>
+
+#include "cbps/common/sorted_view.hpp"
+
+struct Emitter {
+  std::unordered_map<int, int> pending_;
+
+  int emit_all() {
+    int out = 0;
+    for (const auto* entry : cbps::sorted_view(pending_)) {
+      out += entry->first * entry->second;
+    }
+    return out;
+  }
+};

@@ -1,0 +1,15 @@
+// D1 escape: a `// detlint: unordered-ok(<reason>)` waiver on the loop
+// line (or the line above) suppresses the finding; the waiver must
+// still surface in `--list-waivers`.
+#include <unordered_map>
+
+struct Totals {
+  std::unordered_map<int, int> counts_;
+
+  int sum() const {
+    int n = 0;
+    // detlint: unordered-ok(order-independent sum for the selftest)
+    for (const auto& [_, c] : counts_) n += c;
+    return n;
+  }
+};

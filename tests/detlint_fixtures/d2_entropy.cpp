@@ -1,0 +1,18 @@
+// D2: ambient entropy sources outside common/rng.cpp / common/flags.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long long ambient_seed() {
+  std::random_device rd;  // detlint-expect: D2
+  unsigned long long seed = rd();
+  seed ^= static_cast<unsigned long long>(time(nullptr));  // detlint-expect: D2
+  seed ^= static_cast<unsigned long long>(
+      std::chrono::system_clock::now().time_since_epoch().count());  // detlint-expect: D2
+  if (const char* env = getenv("SEED")) {  // detlint-expect: D2
+    seed ^= static_cast<unsigned long long>(env[0]);
+  }
+  srand(static_cast<unsigned>(seed));  // detlint-expect: D2
+  return seed + static_cast<unsigned long long>(rand());  // detlint-expect: D2
+}

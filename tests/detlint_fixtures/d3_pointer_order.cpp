@@ -1,0 +1,20 @@
+// D3: ordering or hashing on pointer values — address-space layout is
+// not deterministic across runs, so pointer keys poison any downstream
+// iteration or sort order.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Node {
+  int v = 0;
+};
+
+std::uint64_t pointer_keys(Node* a) {
+  std::set<Node*, std::less<Node*>> ordered;  // detlint-expect: D3
+  ordered.insert(a);
+  std::map<int, int, std::greater<int*>> bad_cmp;  // detlint-expect: D3
+  const std::size_t h = std::hash<Node*>{}(a);  // detlint-expect: D3
+  const auto key = reinterpret_cast<std::uintptr_t>(a);  // detlint-expect: D3
+  return h + key;
+}

@@ -1,0 +1,14 @@
+// D4 escape: a justified `// detlint: concurrency-ok(<reason>)` waiver.
+#include <mutex>
+
+struct Guarded {
+  // detlint: concurrency-ok(selftest fixture; commutative counter)
+  std::mutex mu_;
+  int n_ = 0;
+
+  void bump() {
+    // detlint: concurrency-ok(selftest fixture; commutative counter)
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+};
