@@ -29,6 +29,7 @@ enum class MessageClass : std::uint8_t {
   kCollect,         // ring-neighbor aggregation toward an agent (§4.3.2)
   kStateTransfer,   // subscription-state handover on join/leave, replicas
   kControl,         // overlay maintenance: stabilization, lookups, acks
+  kGossip,          // epidemic pushes, anti-entropy digests and repairs
   kCount,
 };
 

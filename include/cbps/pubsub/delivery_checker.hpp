@@ -72,7 +72,11 @@ class DeliveryChecker {
   };
   struct DeliveryInfo {
     std::uint64_t count = 0;
-    Key subscriber = 0;
+    Key subscriber = 0;  // node of the FIRST delivery of this pair
+    // A later delivery of the same pair surfaced at a different node.
+    // Kept separately so a duplicate cannot overwrite `subscriber` and
+    // mask (or fake) a wrong-subscriber verdict.
+    bool subscriber_mismatch = false;
   };
 
   std::map<SubscriptionId, SubEntry> subs_;

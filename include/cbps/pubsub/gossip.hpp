@@ -1,0 +1,190 @@
+// Epidemic (gossip) notification dissemination — wire records.
+//
+// The gossip backend replaces the rendezvous' per-subscriber unicast
+// notifications with a push/push-pull epidemic inside the event's match
+// group: the rendezvous seeds a GossipRecord (one immutable blob holding
+// the whole group's notifications) to a random fan-out of group members;
+// every first-time receiver surfaces its own entries and re-pushes the
+// record with a decremented round counter (counter-based infect-and-die,
+// so the epidemic provably terminates). A periodic anti-entropy digest
+// exchange lets nodes that missed the push phase — crashed, partitioned
+// or just unlucky under loss — pull recent records back (and piggybacks
+// a rendezvous-state digest so owned subscription records lost to
+// crashes can be re-learned the same way).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cbps/overlay/payload.hpp"
+#include "cbps/pubsub/messages.hpp"
+
+namespace cbps::pubsub {
+
+/// Globally unique id of one gossip record: the seeding rendezvous plus
+/// its per-node sequence number. Ordered so seen-caches and digests can
+/// use std::map / sorted vectors (deterministic iteration, D1-clean).
+struct GossipId {
+  Key origin = 0;
+  std::uint64_t seq = 0;
+
+  auto operator<=>(const GossipId&) const = default;
+};
+
+/// One subscriber's share of a gossiped event.
+struct GossipEntry {
+  Key subscriber = 0;
+  Notification notification;
+};
+
+/// The immutable unit of epidemic dissemination: every notification one
+/// publish produced at one rendezvous, plus the sorted member list the
+/// epidemic runs over. Shared by pointer across all pushes and repairs —
+/// only the thin per-hop GossipMsg wrapper is ever copied.
+struct GossipRecord {
+  GossipId id;
+  /// When the rendezvous seeded the record. Retention is keyed to this
+  /// one absolute instant — every node prunes the record from its seen
+  /// cache at seeded_at + gossip_window and refuses to re-absorb it
+  /// afterwards. Pruning by local receipt time instead would let two
+  /// nodes repair an aged-out record back and forth forever (each pull
+  /// refreshing the other's retention clock), and the system would never
+  /// quiesce.
+  sim::SimTime seeded_at = 0;
+  /// Sorted, unique subscriber keys — the gossip group. Determines whom
+  /// pushes and anti-entropy exchanges may address.
+  std::vector<Key> group;
+  /// Sorted by (subscriber, subscription id); each member surfaces only
+  /// its own entries.
+  std::vector<GossipEntry> entries;
+
+  std::size_t size_bytes() const {
+    std::size_t total = 32 + 8 * group.size();
+    for (const GossipEntry& e : entries) {
+      total += 32 + 8 * e.notification.event->values.size();
+    }
+    return total;
+  }
+};
+
+using GossipRecordPtr = std::shared_ptr<const GossipRecord>;
+
+/// One epidemic push hop. A fresh wrapper per transmission (the record
+/// itself is shared): the round counter decrements hop by hop and the
+/// addressee is pinned so key-routing misdirections (the member crashed,
+/// the ring moved) are detected and ghost-dropped at the receiver.
+struct GossipMsg final : overlay::Payload {
+  GossipMsg(Key t, GossipRecordPtr r, std::uint32_t rounds)
+      : target(t), rec(std::move(r)), rounds_left(rounds) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kGossip;
+  }
+
+  std::size_t size_bytes() const override { return 16 + rec->size_bytes(); }
+
+  Key target;
+  GossipRecordPtr rec;
+  std::uint32_t rounds_left;
+};
+
+/// Compact advertisement of one owned subscription record (rendezvous
+/// soft state), piggybacked on anti-entropy digests. Replica-held
+/// records are never advertised — re-gossiping a backup copy would make
+/// every chain member act like an owner.
+struct GossipSubDigest {
+  SubscriptionId id = 0;
+  sim::SimTime expires_at = sim::kSimTimeNever;
+};
+
+/// Periodic anti-entropy digest: "here is everything in my recent-event
+/// cache (and the owned subscriptions whose ranges cover your key)".
+/// The receiver pushes back whatever the sender lacks and — unless this
+/// digest is already a reply — answers with its own digest, completing
+/// one push-pull exchange without looping.
+struct GossipDigestMsg final : overlay::Payload {
+  GossipDigestMsg(Key f, Key t, bool r)
+      : from(f), target(t), reply(r) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kGossip;
+  }
+
+  std::size_t size_bytes() const override {
+    return 24 + 16 * have.size() + 16 * subs.size();
+  }
+
+  Key from;     // the digesting node (where the response goes)
+  Key target;   // addressee (misdirection guard, as in GossipMsg)
+  bool reply;   // true = second leg of an exchange; do not answer again
+  std::vector<GossipId> have;      // sorted recent-record ids
+  std::vector<GossipSubDigest> subs;  // sorted owned-subscription digest
+};
+
+/// Pull repair: full records the digest exchange found missing at the
+/// addressee. Repaired records do not re-enter the push phase (round
+/// counter 0) — anti-entropy converges, it does not re-ignite.
+struct GossipRepairMsg final : overlay::Payload {
+  GossipRepairMsg(Key f, Key t) : from(f), target(t) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kGossip;
+  }
+
+  std::size_t size_bytes() const override {
+    std::size_t total = 16;
+    for (const GossipRecordPtr& r : records) total += r->size_bytes();
+    return total;
+  }
+
+  Key from;
+  Key target;
+  std::vector<GossipRecordPtr> records;
+};
+
+/// Rendezvous-state repair: full owned-subscription records the peer's
+/// digest showed missing. The receiver stores them as owned (after the
+/// usual coverage check) and rebuilds their replica chains.
+struct GossipSubRepairMsg final : overlay::Payload {
+  explicit GossipSubRepairMsg(Key t) : target(t) {}
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kGossip;
+  }
+
+  std::size_t size_bytes() const override {
+    std::size_t total = 8;
+    for (const StoredSubRecord& r : records) {
+      total += 32 + 24 * r.sub->constraints.size() + 16 * r.ranges.size();
+    }
+    return total;
+  }
+
+  Key target;
+  std::vector<StoredSubRecord> records;
+};
+
+/// The m-cast dissemination backend's wire unit: the whole match group's
+/// notifications in one payload, delivered through the overlay's native
+/// m_cast tree. Each covered member surfaces only its own entries.
+struct MultiNotifyMsg final : overlay::Payload {
+  MultiNotifyMsg() = default;
+
+  overlay::MessageClass message_class() const override {
+    return overlay::MessageClass::kNotify;
+  }
+
+  std::size_t size_bytes() const override {
+    std::size_t total = 8;
+    for (const GossipEntry& e : entries) {
+      total += 32 + 8 * e.notification.event->values.size();
+    }
+    return total;
+  }
+
+  std::vector<GossipEntry> entries;  // sorted by (subscriber, sub id)
+};
+
+}  // namespace cbps::pubsub

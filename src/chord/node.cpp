@@ -70,7 +70,11 @@ bool ChordNode::covers(Key k) const {
 
 bool ChordNode::transmit(Key to, WireMessage msg, MessageClass cls) {
   CBPS_ASSERT_MSG(to != id_, "self-transmit must be a local delivery");
-  if (config().reliable_transport() && seq_field(msg) != nullptr) {
+  // Gossip rides best-effort even on a reliable wire: the epidemic's own
+  // redundancy (fan-out + anti-entropy repair) is its loss recovery, and
+  // per-hop acks would double-charge the overhead the benches compare.
+  if (config().reliable_transport() && cls != MessageClass::kGossip &&
+      seq_field(msg) != nullptr) {
     return transmit_reliable(to, std::move(msg), cls);
   }
   if (!net_.transmit(id_, to, std::move(msg), cls)) {

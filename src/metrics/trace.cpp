@@ -22,6 +22,8 @@ const char* to_string(SpanKind kind) {
     case SpanKind::kDeliver: return "deliver";
     case SpanKind::kRetry: return "retry";
     case SpanKind::kDrop: return "drop";
+    case SpanKind::kGossipPush: return "gossip-push";
+    case SpanKind::kGossipRepair: return "gossip-repair";
     case SpanKind::kCount: break;
   }
   return "?";

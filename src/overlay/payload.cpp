@@ -20,6 +20,8 @@ std::string_view to_string(MessageClass cls) {
       return "state_transfer";
     case MessageClass::kControl:
       return "control";
+    case MessageClass::kGossip:
+      return "gossip";
     case MessageClass::kCount:
       break;
   }

@@ -75,7 +75,10 @@ void PastryNode::install_state(std::vector<Key> leaf_pred,
 
 bool PastryNode::transmit(Key to, WireMessage msg, MessageClass cls) {
   CBPS_ASSERT_MSG(to != id_, "self-transmit must be a local delivery");
-  if (config().reliable_transport() && seq_field(msg) != nullptr) {
+  // Gossip is best-effort even on a reliable wire (see ChordNode): the
+  // epidemic's redundancy is its loss recovery.
+  if (config().reliable_transport() && cls != MessageClass::kGossip &&
+      seq_field(msg) != nullptr) {
     return transmit_reliable(to, std::move(msg), cls);
   }
   if (!net_.transmit(id_, to, std::move(msg), cls)) {

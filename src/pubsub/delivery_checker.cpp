@@ -44,8 +44,16 @@ void DeliveryChecker::on_notify(Key subscriber, const Notification& n,
   // detlint: concurrency-ok(commutative keyed counts; TSan-proven in parallel_sim_test)
   const std::lock_guard<std::mutex> lock(notify_mu_);
   auto& info = deliveries_[{n.event->id, n.subscription}];
+  // Dedup before counting: the pair's subscriber identity is fixed by
+  // its first delivery. A replayed/duplicate NotifyMsg must only bump
+  // the count — overwriting the subscriber here used to let a late
+  // misrouted duplicate decide the wrong-subscriber verdict.
+  if (info.count == 0) {
+    info.subscriber = subscriber;
+  } else if (info.subscriber != subscriber) {
+    info.subscriber_mismatch = true;
+  }
   ++info.count;
-  info.subscriber = subscriber;
 }
 
 DeliveryChecker::Report DeliveryChecker::verify(
@@ -68,11 +76,15 @@ DeliveryChecker::Report DeliveryChecker::verify(
         continue;
       }
       if (delivered_count > 0 &&
-          it->second.subscriber != entry.sub->subscriber) {
+          (it->second.subscriber != entry.sub->subscriber ||
+           it->second.subscriber_mismatch)) {
         ++report.wrong_subscriber;
         std::ostringstream os;
         os << *pub.event << " for " << *entry.sub
            << " delivered to node " << it->second.subscriber
+           << (it->second.subscriber_mismatch
+                   ? " (and to at least one other node)"
+                   : "")
            << " instead of " << entry.sub->subscriber;
         add_issue(report, os.str());
       }

@@ -1,0 +1,12 @@
+// D2: a gossip-shaped TU that reaches for ambient entropy. Peer
+// selection must draw from an injected per-node stream (seeded off the
+// config), never from the machine — a random_device here would make
+// every epidemic run unrepeatable.
+#include <random>
+#include <vector>
+
+unsigned long long pick_gossip_partner(const std::vector<unsigned long long>& group) {
+  std::random_device entropy;  // detlint-expect: D2
+  std::mt19937_64 rng(entropy());
+  return group[rng() % group.size()];
+}

@@ -1,13 +1,15 @@
 // White-box unit tests of the CB-pub/sub node against a scripted fake
 // overlay: exercises the notification paths (immediate / buffered /
-// collect direction), replication chains and state export/import without
-// any real routing. Also unit-tests the DeliveryChecker oracle itself.
+// collect direction), replication chains, state export/import and the
+// gossip repair handlers without any real routing. Also unit-tests the
+// DeliveryChecker oracle itself.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
 #include "cbps/pubsub/delivery_checker.hpp"
+#include "cbps/pubsub/gossip.hpp"
 #include "cbps/pubsub/node.hpp"
 #include "cbps/sim/simulator.hpp"
 
@@ -300,6 +302,180 @@ TEST_F(PubSubNodeUnitTest, UnknownUnsubscribeIsNoOp) {
 }
 
 // ---------------------------------------------------------------------------
+// Gossip repair handlers (anti-entropy rendezvous-state legs)
+// ---------------------------------------------------------------------------
+
+TEST_F(PubSubNodeUnitTest, GossipSubRepairLearnsOwnedRecordAndReplicates) {
+  FakeOverlay overlay(RingParams{8}, 100, 50, 150);
+  PubSubConfig cfg;
+  cfg.dissemination = PubSubConfig::Dissemination::kGossip;
+  cfg.replication_factor = 2;
+  auto node = make_node(overlay, cfg);
+
+  const auto sub = make_sub(1, 200, 0, 255);
+  auto repair = std::make_shared<GossipSubRepairMsg>(/*target=*/100);
+  repair->records.push_back({sub, sim::kSimTimeNever,
+                             mapping_->subscription_ranges(*sub),
+                             /*replica=*/false});
+  node->on_deliver(100, repair);
+
+  const auto* rec = node->store().find(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->replica);  // learned as owned, not as a backup copy
+  EXPECT_EQ(node->gossip_stats().subs_learned, 1u);
+
+  // Learning the record rebuilds its replica chain immediately...
+  ASSERT_EQ(overlay.sent.size(), 1u);
+  const auto* rep =
+      dynamic_cast<const ReplicaMsg*>(overlay.sent[0].payload.get());
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->remaining_hops, 2u);
+  EXPECT_EQ(rep->record.sub->id, 1u);
+
+  // ...and re_replicate refreshes it like any other owned record, so a
+  // post-heal sweep also re-homes gossip-learned state.
+  overlay.sent.clear();
+  EXPECT_EQ(node->re_replicate(), 1u);
+  ASSERT_EQ(overlay.sent.size(), 1u);
+  EXPECT_NE(dynamic_cast<const ReplicaMsg*>(overlay.sent[0].payload.get()),
+            nullptr);
+}
+
+TEST_F(PubSubNodeUnitTest, GossipSubRepairUpgradesAReplicaToOwned) {
+  FakeOverlay overlay(RingParams{8}, 100, 50, 150);
+  PubSubConfig cfg;
+  cfg.dissemination = PubSubConfig::Dissemination::kGossip;
+  cfg.replication_factor = 2;
+  auto node = make_node(overlay, cfg);
+
+  const auto sub = make_sub(1, 200, 0, 255);
+  const auto ranges = mapping_->subscription_ranges(*sub);
+  // Held as a neighbor's backup first (terminal hop: nothing forwarded).
+  node->on_deliver(100, std::make_shared<ReplicaMsg>(
+                            StoredSubRecord{sub, sim::kSimTimeNever, ranges},
+                            /*hops=*/1));
+  ASSERT_TRUE(node->store().find(1)->replica);
+  overlay.sent.clear();
+
+  auto repair = std::make_shared<GossipSubRepairMsg>(/*target=*/100);
+  repair->records.push_back({sub, sim::kSimTimeNever, ranges, false});
+  node->on_deliver(100, repair);
+
+  EXPECT_FALSE(node->store().find(1)->replica);
+  EXPECT_EQ(node->gossip_stats().subs_learned, 1u);
+  ASSERT_EQ(overlay.sent.size(), 1u);  // fresh ownership, fresh chain
+  EXPECT_NE(dynamic_cast<const ReplicaMsg*>(overlay.sent[0].payload.get()),
+            nullptr);
+}
+
+TEST_F(PubSubNodeUnitTest, GossipSubRepairForAnotherTargetIsGhostDropped) {
+  FakeOverlay overlay(RingParams{8}, 100, 50, 150);
+  PubSubConfig cfg;
+  cfg.dissemination = PubSubConfig::Dissemination::kGossip;
+  auto node = make_node(overlay, cfg);
+  const auto sub = make_sub(1, 200, 0, 255);
+  auto repair = std::make_shared<GossipSubRepairMsg>(/*target=*/130);
+  repair->records.push_back({sub, sim::kSimTimeNever,
+                             mapping_->subscription_ranges(*sub), false});
+  node->on_deliver(100, repair);  // key-routed here, addressed elsewhere
+  EXPECT_EQ(node->store().find(1), nullptr);
+  EXPECT_EQ(node->gossip_stats().misdirected, 1u);
+}
+
+TEST_F(PubSubNodeUnitTest, ReplicaRecordsAreNeverAdvertisedOrRepaired) {
+  FakeOverlay overlay(RingParams{8}, 100, 50, 150);
+  PubSubConfig cfg;
+  cfg.dissemination = PubSubConfig::Dissemination::kGossip;
+  auto node = make_node(overlay, cfg);
+
+  // A replica-held record whose range covers the digesting peer: if the
+  // replica guard were missing, the node would push it as repair and
+  // every chain member would act like an owner.
+  const auto backup = make_sub(1, 210, 0, 255);
+  node->on_deliver(
+      100, std::make_shared<ReplicaMsg>(
+               StoredSubRecord{backup, sim::kSimTimeNever,
+                               mapping_->subscription_ranges(*backup)},
+               /*hops=*/1));
+  overlay.sent.clear();
+
+  node->on_deliver(100, std::make_shared<GossipDigestMsg>(
+                            /*from=*/200, /*target=*/100, /*reply=*/false));
+
+  // Only the return digest goes out — no sub repair for the replica, and
+  // the digest advertises nothing.
+  ASSERT_EQ(overlay.sent.size(), 1u);
+  const auto* digest =
+      dynamic_cast<const GossipDigestMsg*>(overlay.sent[0].payload.get());
+  ASSERT_NE(digest, nullptr);
+  EXPECT_TRUE(digest->reply);
+  EXPECT_TRUE(digest->subs.empty());
+
+  // Contrast: an owned record with the same coverage is both pushed as
+  // repair and advertised in the return digest.
+  const auto owned = make_sub(2, 210, 0, 255);
+  deliver_sub(*node, owned);
+  overlay.sent.clear();
+  node->on_deliver(100, std::make_shared<GossipDigestMsg>(
+                            /*from=*/200, /*target=*/100, /*reply=*/false));
+
+  const GossipSubRepairMsg* repair = nullptr;
+  const GossipDigestMsg* reply = nullptr;
+  for (const auto& s : overlay.sent) {
+    if (const auto* r =
+            dynamic_cast<const GossipSubRepairMsg*>(s.payload.get())) {
+      repair = r;
+    }
+    if (const auto* d =
+            dynamic_cast<const GossipDigestMsg*>(s.payload.get())) {
+      reply = d;
+    }
+  }
+  ASSERT_NE(repair, nullptr);
+  ASSERT_EQ(repair->records.size(), 1u);
+  EXPECT_EQ(repair->records[0].sub->id, 2u);  // the owned one, only
+  ASSERT_NE(reply, nullptr);
+  ASSERT_EQ(reply->subs.size(), 1u);
+  EXPECT_EQ(reply->subs[0].id, 2u);
+}
+
+// Regression (duplicate-delivery accounting): the same NotifyMsg
+// replayed at a node — the overlay's ack/retry layer can do exactly that
+// — must surface to the application and the oracle once.
+TEST_F(PubSubNodeUnitTest, ReplayedNotifyMsgSurfacesOnce) {
+  FakeOverlay overlay(RingParams{8}, 100, 50, 150);
+  PubSubConfig cfg;
+  cfg.duplicate_suppression = true;
+  auto node = make_node(overlay, cfg);
+
+  DeliveryChecker checker;
+  const auto sub = make_sub(1, /*subscriber=*/100, 0, 100);
+  checker.on_subscribe(sub, sim::sec(0), sim::kSimTimeNever);
+  int sink_calls = 0;
+  node->set_notify_sink([&](Key s, const Notification& n) {
+    ++sink_calls;
+    checker.on_notify(s, n, sim_.now());
+  });
+
+  auto e = std::make_shared<Event>();
+  e->id = 1;
+  e->values = {50};
+  checker.on_publish(e, sim::sec(100));
+  const auto notify = std::make_shared<NotifyMsg>(
+      /*subscriber=*/100, std::vector<Notification>{{e, 1, sim::sec(100)}});
+  node->on_deliver(100, notify);
+  node->on_deliver(100, std::make_shared<NotifyMsg>(*notify));  // replay
+
+  EXPECT_EQ(sink_calls, 1);
+  EXPECT_EQ(node->notifications_received(), 1u);
+  EXPECT_EQ(node->duplicates_suppressed(), 1u);
+  const auto report = checker.verify();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.duplicates, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // DeliveryChecker oracle self-tests
 // ---------------------------------------------------------------------------
 
@@ -370,6 +546,51 @@ TEST_F(DeliveryCheckerTest, DetectsWrongSubscriber) {
   checker.on_subscribe(s, sim::sec(0), sim::kSimTimeNever);
   checker.on_publish(e, sim::sec(100));
   checker.on_notify(/*subscriber=*/7, Notification{e, 1}, sim::sec(101));
+  EXPECT_EQ(checker.verify().wrong_subscriber, 1u);
+}
+
+TEST_F(DeliveryCheckerTest, DuplicateAtTheSameNodeIsOnlyADuplicate) {
+  // A replayed notification at the right node: the pair counts once as
+  // delivered, the extra copy as a duplicate — never as wrong-subscriber.
+  DeliveryChecker checker;
+  const auto s = sub(1, 0, 100);
+  const auto e = event(1, 50);
+  checker.on_subscribe(s, sim::sec(0), sim::kSimTimeNever);
+  checker.on_publish(e, sim::sec(100));
+  checker.on_notify(42, Notification{e, 1}, sim::sec(101));
+  checker.on_notify(42, Notification{e, 1}, sim::sec(102));
+  const auto report = checker.verify();
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.duplicates, 1u);
+  EXPECT_EQ(report.wrong_subscriber, 0u);
+}
+
+TEST_F(DeliveryCheckerTest, LateDuplicateCannotMaskAWrongFirstDelivery) {
+  // Regression: the oracle used to overwrite the recorded subscriber on
+  // every notify, so a ghost delivery at node 7 followed by a correct
+  // duplicate at node 42 looked clean. The first delivery's identity is
+  // authoritative now.
+  DeliveryChecker checker;
+  const auto s = sub(1, 0, 100);
+  const auto e = event(1, 50);
+  checker.on_subscribe(s, sim::sec(0), sim::kSimTimeNever);
+  checker.on_publish(e, sim::sec(100));
+  checker.on_notify(/*subscriber=*/7, Notification{e, 1}, sim::sec(101));
+  checker.on_notify(/*subscriber=*/42, Notification{e, 1}, sim::sec(102));
+  EXPECT_EQ(checker.verify().wrong_subscriber, 1u);
+}
+
+TEST_F(DeliveryCheckerTest, DuplicateAtAnotherNodeFlagsTheMismatch) {
+  // Symmetric case: correct first delivery, duplicate surfacing at a
+  // different node. The mismatch flag catches it even though the
+  // recorded (first) subscriber is the right one.
+  DeliveryChecker checker;
+  const auto s = sub(1, 0, 100);
+  const auto e = event(1, 50);
+  checker.on_subscribe(s, sim::sec(0), sim::kSimTimeNever);
+  checker.on_publish(e, sim::sec(100));
+  checker.on_notify(/*subscriber=*/42, Notification{e, 1}, sim::sec(101));
+  checker.on_notify(/*subscriber=*/7, Notification{e, 1}, sim::sec(102));
   EXPECT_EQ(checker.verify().wrong_subscriber, 1u);
 }
 

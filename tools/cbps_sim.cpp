@@ -49,6 +49,20 @@ bool parse_transport(const std::string& s,
   return true;
 }
 
+bool parse_dissemination(const std::string& s,
+                         pubsub::PubSubConfig::Dissemination* out) {
+  if (s == "unicast") {
+    *out = pubsub::PubSubConfig::Dissemination::kUnicast;
+  } else if (s == "mcast" || s == "multicast") {
+    *out = pubsub::PubSubConfig::Dissemination::kMcast;
+  } else if (s == "gossip") {
+    *out = pubsub::PubSubConfig::Dissemination::kGossip;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +71,11 @@ int main(int argc, char** argv) {
   std::int64_t seed = 1;
   std::string mapping = "m3";
   std::string transport = "unicast";
+  std::string dissemination = "unicast";
+  std::int64_t gossip_fanout = 3;
+  std::int64_t gossip_rounds = 0;
+  double anti_entropy_s = 10.0;
+  double gossip_window_s = 60.0;
   std::int64_t subs = 1000;
   std::int64_t pubs = 1000;
   std::int64_t selective = 0;
@@ -97,6 +116,16 @@ int main(int argc, char** argv) {
   parser.add("mapping", "m1|m2|m3 (attribute-split, key-space-split, "
              "selective-attribute)", &mapping);
   parser.add("transport", "unicast|mcast|chain", &transport);
+  parser.add("dissemination", "notify-leg backend: unicast|mcast|gossip",
+             &dissemination);
+  parser.add("gossip-fanout", "peers each infected node pushes to",
+             &gossip_fanout);
+  parser.add("gossip-rounds", "infect-and-die round budget (0 = auto: "
+             "ceil(log2(group)) + 2)", &gossip_rounds);
+  parser.add("anti-entropy-s", "gossip anti-entropy period in seconds "
+             "(0 = repair off)", &anti_entropy_s);
+  parser.add("gossip-window-s", "gossip repair retention window in seconds",
+             &gossip_window_s);
   parser.add("subs", "subscriptions to inject (1 per 5s)", &subs);
   parser.add("pubs", "publications to inject (Poisson, mean 5s)", &pubs);
   parser.add("selective", "number of selective attributes (of 4)",
@@ -208,6 +237,21 @@ int main(int argc, char** argv) {
   }
   cfg.sub_transport = t;
   cfg.pub_transport = t;
+  if (!parse_dissemination(dissemination, &cfg.dissemination)) {
+    std::fprintf(stderr, "bad --dissemination: %s\n", dissemination.c_str());
+    return 1;
+  }
+  if (gossip_fanout < 1 || gossip_rounds < 0 || anti_entropy_s < 0.0 ||
+      gossip_window_s <= 0.0) {
+    std::fprintf(stderr, "bad gossip knobs (want fanout >= 1, rounds >= 0, "
+                         "anti-entropy >= 0, window > 0)\n");
+    return 1;
+  }
+  cfg.gossip_fanout = static_cast<std::size_t>(gossip_fanout);
+  cfg.gossip_rounds = static_cast<std::uint32_t>(gossip_rounds);
+  cfg.anti_entropy_period =
+      anti_entropy_s > 0 ? sim::from_seconds(anti_entropy_s) : 0;
+  cfg.gossip_window = sim::from_seconds(gossip_window_s);
   cfg.nodes = static_cast<std::size_t>(nodes);
   cfg.ring_bits = static_cast<unsigned>(ring_bits);
   cfg.seed = static_cast<std::uint64_t>(seed);
@@ -257,11 +301,13 @@ int main(int argc, char** argv) {
     cfg.fault_script = fault_script;
   }
 
-  std::printf("config: n=%zu ring=2^%u mapping=%s transport=%s subs=%llu "
+  std::printf("config: n=%zu ring=2^%u mapping=%s transport=%s "
+              "dissemination=%s subs=%llu "
               "pubs=%llu selective=%d p=%.2f disc=%lld buf=%d collect=%d "
               "repl=%zu ttl=%s seed=%llu%s\n\n",
               cfg.nodes, cfg.ring_bits, mapping_label(cfg.mapping).c_str(),
               transport_label(t).c_str(),
+              dissemination_label(cfg.dissemination).c_str(),
               static_cast<unsigned long long>(cfg.subscriptions),
               static_cast<unsigned long long>(cfg.publications),
               cfg.selective_attributes, cfg.matching_probability,
@@ -357,6 +403,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.sends_failed));
     std::printf("  duplicates suppressed        %10llu\n",
                 static_cast<unsigned long long>(r.duplicates_suppressed));
+  }
+  if (cfg.dissemination == pubsub::PubSubConfig::Dissemination::kGossip) {
+    std::printf("gossip backend (fanout %zu, %s rounds, anti-entropy "
+                "%.0fs):\n",
+                cfg.gossip_fanout,
+                cfg.gossip_rounds > 0
+                    ? std::to_string(cfg.gossip_rounds).c_str()
+                    : "auto",
+                anti_entropy_s);
+    std::printf("  epidemic pushes sent         %10llu\n",
+                static_cast<unsigned long long>(r.gossip_pushes));
+    std::printf("  duplicate records dropped    %10llu\n",
+                static_cast<unsigned long long>(r.gossip_duplicates));
+    std::printf("  anti-entropy digests         %10llu\n",
+                static_cast<unsigned long long>(r.gossip_digests));
+    std::printf("  records pulled by repair     %10llu\n",
+                static_cast<unsigned long long>(r.gossip_repairs));
+    std::printf("  subscriptions learned        %10llu\n",
+                static_cast<unsigned long long>(r.gossip_subs_learned));
   }
   if (!cfg.fault_script.empty()) {
     std::printf("fault scenario:\n");
