@@ -31,12 +31,30 @@ void append_num(std::string& out, double v) {
   out += buf;
 }
 
+/// Append one hot-key table: {"total": N, "entries": [{key,count,error}]}.
+void append_topk(std::string& out, const metrics::TopK& sketch,
+                 std::size_t table_size) {
+  out += "{\"total\": " + std::to_string(sketch.total()) +
+         ", \"entries\": [";
+  bool first = true;
+  for (const metrics::TopK::Entry& e : sketch.top(table_size)) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"key\": " + std::to_string(e.key) +
+           ", \"count\": " + std::to_string(e.count) +
+           ", \"error\": " + std::to_string(e.error) + "}";
+  }
+  out += "]}";
+}
+
 /// One flat JSON document: every registry counter/stat/histogram (the
-/// histograms with their percentiles), the harness' derived summary
-/// fields, and the time-series sampler's rows.
+/// histograms with their percentiles), the folded per-key hot-key
+/// tables, the harness' derived summary fields, and the time-series
+/// sampler's rows.
 void write_metrics_json(const std::string& path,
                         pubsub::PubSubSystem& system,
-                        const ExperimentResult& r) {
+                        const ExperimentResult& r,
+                        std::size_t hot_key_table_size) {
   const metrics::Registry& reg = system.network().registry();
   std::string out = "{\n  \"counters\": {";
   bool first = true;
@@ -89,6 +107,25 @@ void write_metrics_json(const std::string& path,
     append_num(out, h.max());
     out += "}";
   }
+  // Per-rendezvous-key load tables, folded over every node in ring
+  // order (deterministic at any --sim-threads; see KeyLoad).
+  const pubsub::KeyLoad key_load = system.key_load();
+  const std::pair<const char*, const metrics::TopK*> tables[] = {
+      {"subs_stored", &key_load.subs_stored},
+      {"match_calls", &key_load.match_calls},
+      {"match_units", &key_load.match_units},
+      {"notify_fanout", &key_load.notify_fanout},
+  };
+  out += "\n  },\n  \"hot_keys\": {";
+  first = true;
+  for (const auto& [name, sketch] : tables) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += name;
+    out += "\": ";
+    append_topk(out, *sketch, hot_key_table_size);
+  }
   out += "\n  },\n  \"summary\": {";
   const std::pair<const char*, double> summary[] = {
       {"notifications_delivered",
@@ -99,6 +136,10 @@ void write_metrics_json(const std::string& path,
       {"hops_p99", r.hops_p99},        {"hops_max", r.hops_max},
       {"fanout_p50", r.fanout_p50},    {"fanout_p99", r.fanout_p99},
       {"retries_p99", r.retries_p99},
+      {"load_max_over_mean", r.load_max_over_mean},
+      {"load_gini", r.load_gini},
+      {"hot_key_top1", static_cast<double>(r.hot_key_top1)},
+      {"hot_key_top1_share", r.hot_key_top1_share},
       {"traces_started", static_cast<double>(r.traces_started)},
       {"trace_spans", static_cast<double>(r.trace_spans)},
       {"sim_threads", static_cast<double>(r.sim_threads)},
@@ -179,6 +220,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sys_cfg.pubsub.gossip_window = cfg.gossip_window;
   sys_cfg.pubsub.match_engine = cfg.match_engine;
   sys_cfg.pubsub.replication_factor = cfg.replication_factor;
+  sys_cfg.pubsub.key_topk_capacity = cfg.key_topk_capacity;
   sys_cfg.chord.loss_rate = cfg.loss_rate;
   sys_cfg.chord.max_retries = cfg.max_retries;
   sys_cfg.chord.retry_base = cfg.retry_base;
@@ -358,6 +400,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   r.fanout_p50 = fanout_hist.p50();
   r.fanout_p99 = fanout_hist.p99();
   r.retries_p99 = reg_mut.histogram("chord.retries_per_send").p99();
+  const pubsub::PubSubSystem::LoadImbalance imbalance =
+      system.load_imbalance();
+  r.load_max_over_mean = imbalance.max_over_mean;
+  r.load_gini = imbalance.gini;
+  const pubsub::KeyLoad key_load = system.key_load();
+  if (const auto top1 = key_load.match_calls.top(1); !top1.empty()) {
+    r.hot_key_top1 = top1.front().key;
+    r.hot_key_top1_share = static_cast<double>(top1.front().count) /
+                           static_cast<double>(key_load.match_calls.total());
+  }
   if (metrics::TraceSink* sink = system.trace_sink()) {
     r.traces_started = sink->traces_started();
     r.trace_spans = sink->spans().size();
@@ -401,7 +453,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     write_trace_file(cfg.trace_path, *system.trace_sink());
   }
   if (!cfg.metrics_json_path.empty()) {
-    write_metrics_json(cfg.metrics_json_path, system, r);
+    write_metrics_json(cfg.metrics_json_path, system, r,
+                       cfg.hot_key_table_size);
   }
   return r;
 }

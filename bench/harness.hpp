@@ -104,8 +104,14 @@ struct ExperimentConfig {
   /// leaves tracing entirely off (no sink is allocated).
   double trace_sample_rate = 0.0;
   /// Dump the metrics registry (counters, histograms with percentiles)
-  /// plus the time-series samples to this JSON file (empty = off).
+  /// plus the per-key hot-key tables and the time-series samples to
+  /// this JSON file (empty = off).
   std::string metrics_json_path;
+  /// Capacity of the per-node rendezvous-key heavy-hitter sketches
+  /// (metrics::TopK); count error is bounded by per-node load / capacity.
+  std::size_t key_topk_capacity = metrics::TopK::kDefaultCapacity;
+  /// Entries per sketch emitted into the metrics JSON hot-key tables.
+  std::size_t hot_key_table_size = 16;
   /// Period of the time-series sampler. 0 = off, unless
   /// metrics_json_path is set (then it defaults to 1 simulated second).
   sim::SimTime sample_period = 0;
@@ -166,6 +172,13 @@ struct ExperimentResult {
   double fanout_p50 = 0;   // rendezvous keys per publish
   double fanout_p99 = 0;
   double retries_p99 = 0;  // retransmits per reliable send
+
+  // Load observatory: ring-wide imbalance over per-node load units and
+  // the hot-key concentration (top-1 share of per-key match calls).
+  double load_max_over_mean = 0;
+  double load_gini = 0;
+  std::uint64_t hot_key_top1 = 0;      // hottest rendezvous key id
+  double hot_key_top1_share = 0;       // its share of all match calls
 
   // Causal tracing (0 unless tracing was on).
   std::uint64_t traces_started = 0;

@@ -5,6 +5,14 @@
 // leaves some hosts covering arcs O(log n) times larger than average;
 // virtual nodes smooth the arcs and with them the subscription-storage
 // imbalance.
+//
+// The second sweep axis is the load observatory's Zipf skew frontier:
+// the same Zipf-skewed workload (one selective attribute, so event/
+// subscription centers concentrate on popular values) under each EK/SK
+// mapping (M1/M2/M3). Per point the metrics JSON carries the folded
+// per-key top-K table, the ring Gini coefficient and the hot-key
+// concentration, so mapping choice vs per-key skew is directly
+// plottable from BENCH_metrics.json.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -25,6 +33,13 @@ struct Row {
   double load_p99 = 0;
   double hops_p50 = 0;  // subscription-routing hop distribution
   double hops_p99 = 0;
+  // Load observatory: ring imbalance over per-node load units and the
+  // hot-key concentration (top-1 share of per-key match calls; the
+  // subs_stored share when the point issues no publications).
+  double load_gini = 0;
+  double load_max_over_mean = 0;
+  double hot_key_top1_share = 0;
+  std::uint64_t hot_key_top1 = 0;
   std::uint64_t sim_events = 0;
 };
 
@@ -34,33 +49,54 @@ JsonFields json_fields(const Row& r) {
           {"load_p50", r.load_p50},
           {"load_p99", r.load_p99},
           {"hops_p50", r.hops_p50},
-          {"hops_p99", r.hops_p99}};
+          {"hops_p99", r.hops_p99},
+          {"load_gini", r.load_gini},
+          {"load_max_over_mean", r.load_max_over_mean},
+          {"hot_key_top1_share", r.hot_key_top1_share}};
 }
 
 JsonFields metrics_fields(const Row& r) {
   return {{"load_p50", r.load_p50},
           {"load_p99", r.load_p99},
           {"hops_p50", r.hops_p50},
-          {"hops_p99", r.hops_p99}};
+          {"hops_p99", r.hops_p99},
+          {"load_gini", r.load_gini},
+          {"load_max_over_mean", r.load_max_over_mean},
+          {"hot_key_top1", static_cast<double>(r.hot_key_top1)},
+          {"hot_key_top1_share", r.hot_key_top1_share}};
 }
 
-Row run(std::size_t hosts, std::size_t virtuals,
-        std::size_t sim_threads) {
+struct RunSpec {
+  pubsub::MappingKind mapping = pubsub::MappingKind::kSelectiveAttribute;
+  std::size_t hosts = 250;
+  std::size_t virtuals = 1;
+  std::uint64_t subscriptions = 5000;
+  std::uint64_t publications = 0;
+  bool zipf_selective = false;  // one selective attr, Zipf centers
+  std::size_t sim_threads = 1;
+};
+
+Row run(const RunSpec& spec) {
   pubsub::SystemConfig sys_cfg;
-  sys_cfg.nodes = hosts * virtuals;
-  sys_cfg.virtual_nodes_per_host = virtuals;
+  sys_cfg.nodes = spec.hosts * spec.virtuals;
+  sys_cfg.virtual_nodes_per_host = spec.virtuals;
   sys_cfg.seed = 13;
-  sys_cfg.mapping = pubsub::MappingKind::kSelectiveAttribute;
+  sys_cfg.mapping = spec.mapping;
   sys_cfg.pubsub.sub_transport =
       pubsub::PubSubConfig::Transport::kMulticast;
-  sys_cfg.sim_threads = sim_threads;
+  sys_cfg.sim_threads = spec.sim_threads;
   pubsub::PubSubSystem system(sys_cfg,
                               pubsub::Schema::uniform(4, 1'000'000));
 
-  workload::WorkloadGenerator gen(system.schema(), {}, 77);
+  workload::WorkloadParams wp;
+  if (spec.zipf_selective) {
+    wp.selective.assign(4, false);
+    wp.selective[0] = true;
+  }
+  workload::WorkloadGenerator gen(system.schema(), wp, 77);
   workload::DriverParams dp;
-  dp.max_subscriptions = 5000;
-  dp.max_publications = 0;
+  dp.max_subscriptions = spec.subscriptions;
+  dp.max_publications = spec.publications;
   workload::Driver driver(system, gen, dp);
   driver.start();
   driver.run_to_completion();
@@ -83,6 +119,22 @@ Row run(std::size_t hosts, std::size_t virtuals,
   metrics::Registry& reg = system.network().registry();
   row.hops_p50 = reg.histogram("chord.route_hops").p50();
   row.hops_p99 = reg.histogram("chord.route_hops").p99();
+  const pubsub::PubSubSystem::LoadImbalance imbalance =
+      system.load_imbalance();
+  row.load_gini = imbalance.gini;
+  row.load_max_over_mean = imbalance.max_over_mean;
+  const pubsub::KeyLoad key_load = system.key_load();
+  // Hot-key concentration: match calls when the point publishes,
+  // subscription stores otherwise (a subscription-only point has no
+  // match traffic to concentrate).
+  const metrics::TopK& hot = key_load.match_calls.total() > 0
+                                 ? key_load.match_calls
+                                 : key_load.subs_stored;
+  if (const auto top1 = hot.top(1); !top1.empty()) {
+    row.hot_key_top1 = top1.front().key;
+    row.hot_key_top1_share = static_cast<double>(top1.front().count) /
+                             static_cast<double>(hot.total());
+  }
   row.sim_events = system.sim().events_processed();
   return row;
 }
@@ -93,27 +145,55 @@ int main(int argc, char** argv) {
   Sweep<Row> sweep("load_balance_ablation");
   if (!sweep.parse_args(argc, argv)) return 1;
 
+  struct Point {
+    std::string label;
+    RunSpec spec;
+  };
+  std::vector<Point> points;
   const std::size_t virtuals[] = {1, 2, 4, 8};
   for (const std::size_t v : virtuals) {
-    sweep.add("virtuals=" + std::to_string(v),
-              [v, st = sweep.options().sim_threads] {
-                return run(250, v, st);
-              });
+    RunSpec spec;
+    spec.virtuals = v;
+    points.push_back({"virtuals=" + std::to_string(v), spec});
+  }
+  // Zipf skew frontier: same skewed workload under each mapping.
+  const pubsub::MappingKind mappings[] = {
+      pubsub::MappingKind::kAttributeSplit,
+      pubsub::MappingKind::kKeySpaceSplit,
+      pubsub::MappingKind::kSelectiveAttribute};
+  for (const pubsub::MappingKind m : mappings) {
+    RunSpec spec;
+    spec.mapping = m;
+    spec.subscriptions = 2000;
+    spec.publications = 1000;
+    spec.zipf_selective = true;
+    points.push_back({"zipf/" + mapping_label(m), spec});
+  }
+  for (Point& p : points) p.spec.sim_threads = sweep.options().sim_threads;
+  for (const Point& p : points) {
+    sweep.add(p.label, [spec = p.spec] { return run(spec); });
   }
 
-  std::puts("=== Load-balance ablation: virtual nodes per host ===");
-  std::puts("250 hosts, 5000 subscriptions, Mapping 3, no selective attrs;");
-  std::puts("cell = subscriptions stored per physical host\n");
-  std::printf("%18s %12s %12s %10s\n", "virtual nodes/host", "max/host",
-              "avg/host", "max/avg");
+  std::puts("=== Load-balance ablation: virtual nodes + mapping skew ===");
+  std::puts("virtuals=N rows: 250 hosts, 5000 subscriptions, Mapping 3,");
+  std::puts("no selective attrs; cell = subscriptions stored per host.");
+  std::puts("zipf/M* rows: Zipf-skewed selective workload per mapping;");
+  std::puts("gini/top1 = per-node load imbalance and hot-key share\n");
+  std::printf("%22s %10s %10s %8s %6s %6s\n", "point", "max/host",
+              "avg/host", "max/avg", "gini", "top1");
   sweep.run([&](std::size_t i, const Row& r) {
-    std::printf("%18zu %12zu %12.1f %10.2f\n", virtuals[i], r.max_per_host,
-                r.avg_per_host,
-                static_cast<double>(r.max_per_host) / r.avg_per_host);
+    std::printf("%22s %10zu %10.1f %8.2f %6.3f %6.3f\n",
+                points[i].label.c_str(), r.max_per_host, r.avg_per_host,
+                r.avg_per_host > 0
+                    ? static_cast<double>(r.max_per_host) / r.avg_per_host
+                    : 0.0,
+                r.load_gini, r.hot_key_top1_share);
   });
   std::puts("\nmore virtual nodes -> the max-to-average imbalance shrinks");
-  std::puts("toward 1. The trade-off: more (virtual) nodes split each");
-  std::puts("subscription's key range into more pieces, raising the");
-  std::puts("average (the same range-duplication effect as Figure 8).");
+  std::puts("toward 1. Under Zipf skew the mapping choice decides how much");
+  std::puts("of the ring shares the hot keys' load: M1 pins each attribute");
+  std::puts("to one arc, M2 spreads by value, M3 concentrates on the");
+  std::puts("selective attribute's popular values (the top-K table in the");
+  std::puts("metrics JSON names the hot keys).");
   return 0;
 }

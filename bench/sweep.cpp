@@ -59,6 +59,9 @@ JsonFields metrics_fields(const ExperimentResult& r) {
       {"fanout_p50", r.fanout_p50},
       {"fanout_p99", r.fanout_p99},
       {"retries_p99", r.retries_p99},
+      {"load_max_over_mean", r.load_max_over_mean},
+      {"load_gini", r.load_gini},
+      {"hot_key_top1_share", r.hot_key_top1_share},
       {"notifications_delivered",
        static_cast<double>(r.notifications_delivered)},
       {"traces_started", static_cast<double>(r.traces_started)},

@@ -168,6 +168,11 @@ class ChordNetwork {
     metrics::Counter* join_retry;
     std::array<metrics::Counter*, overlay::kMessageClassCount>
         net_lost_by_class;
+    // Per-message-class wire service time (sampled latency incl. the
+    // gray-failure slowdown, microseconds): the load observatory's
+    // per-class service-time profile ("chord.net.delay_us.<class>").
+    std::array<metrics::Histogram*, overlay::kMessageClassCount>
+        delay_us_by_class;
     metrics::Histogram* route_hops;       // hops of completed app routes
     metrics::Histogram* mcast_fanout;     // branches per m-cast split
     metrics::Histogram* retries_per_send; // retransmits per reliable send

@@ -17,6 +17,7 @@
 
 #include "cbps/common/rng.hpp"
 #include "cbps/metrics/histogram.hpp"
+#include "cbps/metrics/topk.hpp"
 #include "cbps/metrics/trace.hpp"
 #include "cbps/overlay/node.hpp"
 #include "cbps/pubsub/gossip.hpp"
@@ -92,6 +93,43 @@ struct PubSubConfig {
   /// so lossy runs need this end-to-end safety net (PubSubSystem turns
   /// it on automatically whenever the network injects loss).
   bool duplicate_suppression = false;
+
+  /// Capacity of the per-node per-rendezvous-key heavy-hitter sketches
+  /// (the load observatory). With total per-node load N the sketch's
+  /// count error is bounded by N / capacity; a capacity at least the
+  /// number of distinct keys a node serves makes the counts exact.
+  std::size_t key_topk_capacity = metrics::TopK::kDefaultCapacity;
+};
+
+/// Per-rendezvous-key load attribution: one sketch set per node, updated
+/// only from that node's own events (which execute in identical
+/// canonical order at any engine shard count), so each node's sketches
+/// are bit-identical across --sim-threads. PubSubSystem::key_load()
+/// folds them in ring (canonical domain) order; TopK::merge is
+/// permutation-invariant, so the folded table is deterministic too.
+struct KeyLoad {
+  metrics::TopK subs_stored;    // subscription store ops per covered key
+  metrics::TopK match_calls;    // match invocations per covered key
+  metrics::TopK match_units;    // matched records scanned per covered key
+  metrics::TopK notify_fanout;  // notifications attributed per key
+
+  explicit KeyLoad(std::size_t capacity = metrics::TopK::kDefaultCapacity)
+      : subs_stored(capacity), match_calls(capacity),
+        match_units(capacity), notify_fanout(capacity) {}
+
+  void merge(const KeyLoad& o) {
+    subs_stored.merge(o.subs_stored);
+    match_calls.merge(o.match_calls);
+    match_units.merge(o.match_units);
+    notify_fanout.merge(o.notify_fanout);
+  }
+
+  /// Total load units this node performed as a rendezvous (the scalar
+  /// the ring-imbalance coefficients are computed over).
+  std::uint64_t total() const {
+    return subs_stored.total() + match_calls.total() +
+           match_units.total() + notify_fanout.total();
+  }
 };
 
 class PubSubNode final : public overlay::OverlayApp {
@@ -176,6 +214,8 @@ class PubSubNode final : public overlay::OverlayApp {
   const metrics::Histogram& fanout_histogram() const { return fanout_hist_; }
   std::uint64_t notify_batches_sent() const { return notify_batches_sent_; }
   std::uint64_t notifications_sent() const { return notifications_sent_; }
+  /// Per-rendezvous-key load sketches of this node (see KeyLoad).
+  const KeyLoad& key_load() const { return key_load_; }
 
   /// Gossip-backend accounting (all zero unless dissemination==kGossip).
   struct GossipStats {
@@ -225,7 +265,8 @@ class PubSubNode final : public overlay::OverlayApp {
 
  private:
   // Rendezvous-side handlers.
-  void handle_subscribe(const SubscribeMsg& msg);
+  void handle_subscribe(const SubscribeMsg& msg,
+                        std::span<const Key> covered);
   void handle_unsubscribe(const UnsubscribeMsg& msg);
   void handle_publish(const PublishMsg& msg, std::span<const Key> covered);
   void handle_notify(const NotifyMsg& msg);
@@ -240,6 +281,12 @@ class PubSubNode final : public overlay::OverlayApp {
   void handle_gossip_sub_repair(const GossipSubRepairMsg& msg);
   void dispatch(std::span<const Key> covered,
                 const overlay::PayloadPtr& payload);
+  /// Shared tail of the match paths: per-covered-key load attribution
+  /// (match invocations, match-set sizes) and kHotKey trace spans.
+  void record_match_load(const PublishMsg& msg,
+                         std::span<const Key> covered,
+                         std::size_t match_set_size,
+                         const std::vector<std::uint64_t>& per_key_notifies);
 
   // Gossip internals.
   /// Group-wide dissemination (m-cast and gossip backends): collect the
@@ -336,6 +383,7 @@ class PubSubNode final : public overlay::OverlayApp {
   std::uint64_t duplicates_suppressed_ = 0;
   std::uint64_t misdirected_notifies_ = 0;
   std::uint64_t reissued_imports_ = 0;
+  KeyLoad key_load_;
   RunningStat notification_delay_;
   metrics::Histogram delay_hist_;
   metrics::Histogram fanout_hist_;

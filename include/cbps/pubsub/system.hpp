@@ -161,6 +161,23 @@ class PubSubSystem {
   /// Rendezvous-key fan-out per publish, merged across all publishers.
   metrics::Histogram fanout_histogram() const;
 
+  /// Per-rendezvous-key load sketches folded over every node in ring
+  /// order (the canonical domain order; TopK::merge is permutation-
+  /// invariant, so the result is bit-identical at any --sim-threads).
+  /// Crashed/departed nodes are included: load they served before dying
+  /// is still load the ring carried.
+  KeyLoad key_load() const;
+
+  /// Ring-wide load-imbalance coefficients over the alive nodes'
+  /// per-node KeyLoad totals.
+  struct LoadImbalance {
+    std::uint64_t max_load = 0;   // hottest node's load units
+    double mean_load = 0.0;       // mean over alive nodes
+    double max_over_mean = 0.0;   // 1.0 = perfectly balanced
+    double gini = 0.0;            // 0 = equal, -> 1 = one node does all
+  };
+  LoadImbalance load_imbalance() const;
+
   // --- observability ---------------------------------------------------------
   /// Per-run causal-trace sink; null unless cfg.trace_sample_rate > 0.
   /// Wired into the overlay network and every pub/sub node (joins too).
@@ -190,7 +207,8 @@ class PubSubSystem {
   metrics::TimeSeries series_{{"in_flight_events", "pending_retries",
                                "owned_subs_max", "owned_subs_avg",
                                "alive_nodes", "notifications_delivered",
-                               "ge_bad_state"}};
+                               "ge_bad_state", "load_max_over_mean",
+                               "load_gini"}};
   sim::Simulator::TimerId sampler_timer_ = 0;
 
   NotifySink sink_;

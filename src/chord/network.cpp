@@ -33,6 +33,9 @@ ChordNetwork::HotStats::HotStats(metrics::Registry& reg)
     net_lost_by_class[c] = reg.counter_handle(
         std::string("chord.net.lost.") +
         std::string(overlay::to_string(static_cast<overlay::MessageClass>(c))));
+    delay_us_by_class[c] = reg.histogram_handle(
+        std::string("chord.net.delay_us.") +
+        std::string(overlay::to_string(static_cast<overlay::MessageClass>(c))));
   }
 }
 
@@ -322,6 +325,10 @@ bool ChordNetwork::transmit(Key from, Key to, WireMessage msg,
   if (slow > 1.0) {
     delay = static_cast<sim::SimTime>(static_cast<double>(delay) * slow);
   }
+  // Integer-microsecond samples into a lock-free histogram: the sum is
+  // order-independent, so concurrent shard senders stay deterministic.
+  hot_.delay_us_by_class[static_cast<std::size_t>(cls)]->add(
+      static_cast<double>(delay));
   // Deliver on the destination's scheduling domain: the receive callback
   // runs on (and is keyed by) the receiver's shard. The latency floor
   // (LatencyModel::min_delay) is the parallel engine's lookahead, which

@@ -1,0 +1,70 @@
+#include "cbps/metrics/topk.hpp"
+
+#include <algorithm>
+
+namespace cbps::metrics {
+
+TopK::TopK(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TopK::offer(std::uint64_t key, std::uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+  if (const auto it = cells_.find(key); it != cells_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (cells_.size() < capacity_) {
+    cells_.emplace(key, Cell{weight, 0});
+    return;
+  }
+  // Space-saving eviction: replace the minimum-count entry; among equal
+  // minima the largest key id goes (total order — no layout dependence).
+  auto victim = cells_.begin();
+  for (auto it = std::next(cells_.begin()); it != cells_.end(); ++it) {
+    if (it->second.count < victim->second.count ||
+        (it->second.count == victim->second.count &&
+         it->first > victim->first)) {
+      victim = it;
+    }
+  }
+  const std::uint64_t floor = victim->second.count;
+  cells_.erase(victim);
+  cells_.emplace(key, Cell{floor + weight, floor});
+}
+
+void TopK::merge(const TopK& other) {
+  total_ += other.total_;
+  for (const auto& [key, cell] : other.cells_) {
+    Cell& mine = cells_[key];
+    mine.count += cell.count;
+    mine.error += cell.error;
+  }
+}
+
+std::vector<TopK::Entry> TopK::top(std::size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    out.push_back(Entry{key, cell.count, cell.error});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+TopK::Entry TopK::find(std::uint64_t key) const {
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) return Entry{key, 0, 0};
+  return Entry{key, it->second.count, it->second.error};
+}
+
+void TopK::reset() {
+  total_ = 0;
+  cells_.clear();
+}
+
+}  // namespace cbps::metrics

@@ -24,6 +24,7 @@ const char* to_string(SpanKind kind) {
     case SpanKind::kDrop: return "drop";
     case SpanKind::kGossipPush: return "gossip-push";
     case SpanKind::kGossipRepair: return "gossip-repair";
+    case SpanKind::kHotKey: return "hot-key";
     case SpanKind::kCount: break;
   }
   return "?";

@@ -32,7 +32,8 @@ PubSubNode::PubSubNode(overlay::OverlayNode& overlay,
                        sim::SimulatorBase& sim, const AkMapping& mapping,
                        PubSubConfig cfg)
     : overlay_(overlay), sim_(sim), mapping_(mapping), cfg_(cfg),
-      gossip_rng_(mix64(cfg.gossip_seed ^ mix64(overlay.id()))) {
+      gossip_rng_(mix64(cfg.gossip_seed ^ mix64(overlay.id()))),
+      key_load_(cfg.key_topk_capacity) {
   store_.use_engine(cfg_.match_engine, mapping_.schema());
   overlay_.set_app(this);
 }
@@ -220,7 +221,7 @@ void PubSubNode::dispatch(std::span<const Key> covered,
   if (auto* pub = dynamic_cast<const PublishMsg*>(payload.get())) {
     handle_publish(*pub, covered);
   } else if (auto* sub = dynamic_cast<const SubscribeMsg*>(payload.get())) {
-    handle_subscribe(*sub);
+    handle_subscribe(*sub, covered);
   } else if (auto* notify = dynamic_cast<const NotifyMsg*>(payload.get())) {
     handle_notify(*notify);
   } else if (auto* collect =
@@ -258,7 +259,11 @@ void PubSubNode::dispatch(std::span<const Key> covered,
 // Rendezvous-side handling
 // ---------------------------------------------------------------------------
 
-void PubSubNode::handle_subscribe(const SubscribeMsg& msg) {
+void PubSubNode::handle_subscribe(const SubscribeMsg& msg,
+                                  std::span<const Key> covered) {
+  // Load attribution: one store op per rendezvous key this delivery
+  // covers (an m-cast delivery stores under several keys at once).
+  for (const Key k : covered) key_load_.subs_stored.offer(k);
   SubscriptionStore::Record rec{msg.sub, msg.expires_at, msg.ranges,
                                 /*replica=*/false};
   const bool fresh = store_.insert(rec);
@@ -311,16 +316,43 @@ void PubSubNode::handle_publish(const PublishMsg& msg,
       return;
   }
   const auto matches = store_.match(*msg.event, sim_.now());
+  std::vector<std::uint64_t> per_key_notifies(covered.size(), 0);
   for (const SubscriptionStore::Record* rec : matches) {
     // Mapping-level exactly-once filter: with multi-key EK mappings
     // (Selective-Attribute) only the rendezvous holding the
-    // subscription's own selective key notifies.
-    const bool responsible = std::any_of(
-        covered.begin(), covered.end(), [&](Key k) {
-          return mapping_.should_notify(*rec->sub, *msg.event, k);
-        });
-    if (!responsible) continue;
+    // subscription's own selective key notifies. The first responsible
+    // covered key takes the load attribution, so each notification is
+    // charged exactly once.
+    std::size_t ki = covered.size();
+    for (std::size_t i = 0; i < covered.size(); ++i) {
+      if (mapping_.should_notify(*rec->sub, *msg.event, covered[i])) {
+        ki = i;
+        break;
+      }
+    }
+    if (ki == covered.size()) continue;
+    ++per_key_notifies[ki];
+    key_load_.notify_fanout.offer(covered[ki]);
     route_match(*rec, msg.event, msg.published_at, msg.trace);
+  }
+  record_match_load(msg, covered, matches.size(), per_key_notifies);
+}
+
+/// Shared tail of the match paths (unicast handle_publish and the
+/// m-cast/gossip collect_entries): per-key match-invocation and
+/// match-set-size attribution plus the kHotKey trace spans.
+void PubSubNode::record_match_load(
+    const PublishMsg& msg, std::span<const Key> covered,
+    std::size_t match_set_size,
+    const std::vector<std::uint64_t>& per_key_notifies) {
+  const sim::SimTime now = sim_.now();
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    key_load_.match_calls.offer(covered[i]);
+    key_load_.match_units.offer(covered[i], match_set_size);
+    if (trace_ != nullptr && msg.trace.sampled()) {
+      trace_->emit(msg.trace, SpanKind::kHotKey, overlay_.id(), now, now,
+                   covered[i], per_key_notifies[i]);
+    }
   }
 }
 
@@ -375,19 +407,27 @@ std::vector<GossipEntry> PubSubNode::collect_entries(
     const PublishMsg& msg, std::span<const Key> covered) {
   std::vector<GossipEntry> entries;
   const auto matches = store_.match(*msg.event, sim_.now());
+  std::vector<std::uint64_t> per_key_notifies(covered.size(), 0);
   for (const SubscriptionStore::Record* rec : matches) {
     // Same exactly-once filter as the unicast path: with multi-key EK
     // mappings only the rendezvous holding the subscription's selective
-    // key disseminates.
-    const bool responsible = std::any_of(
-        covered.begin(), covered.end(), [&](Key k) {
-          return mapping_.should_notify(*rec->sub, *msg.event, k);
-        });
-    if (!responsible) continue;
+    // key disseminates. As there, the first responsible covered key
+    // takes the load attribution.
+    std::size_t ki = covered.size();
+    for (std::size_t i = 0; i < covered.size(); ++i) {
+      if (mapping_.should_notify(*rec->sub, *msg.event, covered[i])) {
+        ki = i;
+        break;
+      }
+    }
+    if (ki == covered.size()) continue;
+    ++per_key_notifies[ki];
+    key_load_.notify_fanout.offer(covered[ki]);
     entries.push_back(GossipEntry{
         rec->sub->subscriber,
         Notification{msg.event, rec->sub->id, msg.published_at, msg.trace}});
   }
+  record_match_load(msg, covered, matches.size(), per_key_notifies);
   // Canonical entry order: the record/payload is wire content, so its
   // layout must not depend on the match engine's internal order (D1).
   std::sort(entries.begin(), entries.end(),

@@ -304,6 +304,42 @@ metrics::Histogram PubSubSystem::fanout_histogram() const {
   return total;
 }
 
+KeyLoad PubSubSystem::key_load() const {
+  // nodes_ parallels node_ids_, which is kept sorted by ring id — the
+  // canonical domain order. The merge is permutation-invariant anyway
+  // (union-sum, no eviction), but folding in a fixed order keeps the
+  // walk itself D1-clean.
+  KeyLoad total(cfg_.pubsub.key_topk_capacity);
+  for (const auto& node : nodes_) total.merge(node->key_load());
+  return total;
+}
+
+PubSubSystem::LoadImbalance PubSubSystem::load_imbalance() const {
+  LoadImbalance out;
+  std::vector<std::uint64_t> loads;
+  loads.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!network_->is_alive(node_ids_[i])) continue;
+    loads.push_back(nodes_[i]->key_load().total());
+  }
+  if (loads.empty()) return out;
+  std::sort(loads.begin(), loads.end());
+  std::uint64_t sum = 0;
+  double weighted = 0.0;  // sum of rank_i * load_(i), ranks 1..n
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    sum += loads[i];
+    weighted += static_cast<double>(i + 1) * static_cast<double>(loads[i]);
+  }
+  out.max_load = loads.back();
+  const double n = static_cast<double>(loads.size());
+  out.mean_load = static_cast<double>(sum) / n;
+  if (sum == 0) return out;  // no load at all: balanced by definition
+  out.max_over_mean = static_cast<double>(out.max_load) / out.mean_load;
+  // Gini over the sorted loads: G = 2*sum(i*x_i)/(n*sum(x)) - (n+1)/n.
+  out.gini = 2.0 * weighted / (n * static_cast<double>(sum)) - (n + 1.0) / n;
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Time-series sampler
 // ---------------------------------------------------------------------------
@@ -325,6 +361,7 @@ void PubSubSystem::sample_once() {
   // report how many alive senders currently sit in the bad state.
   const double ge_bad =
       static_cast<double>(network_->loss_bad_state_count());
+  const LoadImbalance imbalance = load_imbalance();
   series_.append(
       sim_->now(),
       {static_cast<double>(sim_->pending_events()),
@@ -335,7 +372,7 @@ void PubSubSystem::sample_once() {
                         static_cast<double>(alive),
        static_cast<double>(alive),
        static_cast<double>(notifications_delivered()),
-       ge_bad});
+       ge_bad, imbalance.max_over_mean, imbalance.gini});
 }
 
 void PubSubSystem::start_sampler(sim::SimTime period) {

@@ -1,0 +1,50 @@
+// D1: the load-observatory fold shape. Folding per-shard sketches out
+// of an unordered container walks them in hash-layout order — the merge
+// had better be commutative, and detlint cannot prove that, so the walk
+// is flagged. The clean shape keeps shard sketches in an ordered map
+// (or a vector indexed in canonical domain order) so the fold order is
+// layout-independent by construction.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Sketch {
+  std::uint64_t total = 0;
+  void merge(const Sketch& other) { total += other.total; }
+};
+
+struct ShardedObservatory {
+  std::unordered_map<int, Sketch> by_shard_;  // hash layout
+  std::map<int, Sketch> by_shard_ordered_;
+  std::vector<Sketch> by_shard_ring_;  // indexed in ring order
+
+  // Flagged: the fold visits shards in hash order, so any
+  // non-commutative step (truncation, error floors) would make the
+  // merged report depend on the container's layout.
+  Sketch fold_unordered() const {
+    Sketch acc;
+    for (const auto& [shard, sketch] : by_shard_) {  // detlint-expect: D1
+      acc.merge(sketch);
+    }
+    return acc;
+  }
+
+  // Clean: ordered key walk — the canonical fold order.
+  Sketch fold_ordered() const {
+    Sketch acc;
+    for (const auto& [shard, sketch] : by_shard_ordered_) {
+      acc.merge(sketch);
+    }
+    return acc;
+  }
+
+  // Clean: ring-order vector walk (what PubSubSystem::key_load does).
+  Sketch fold_ring() const {
+    Sketch acc;
+    for (const Sketch& sketch : by_shard_ring_) {
+      acc.merge(sketch);
+    }
+    return acc;
+  }
+};

@@ -11,6 +11,9 @@ Reports:
   * per-phase latency breakdown of completed traces (publish -> map ->
     first/last route hop -> deliver)
   * top-k hottest nodes by span count
+  * top-k hottest rendezvous keys from "hot-key" spans (a = key id,
+    b = notifications attributed to it), with each trace's
+    publish->deliver time attributed evenly across its distinct keys
   * integrity checks: every span's parent must exist, belong to the same
     trace, and start no later than its child; sampled publish traces must
     terminate (deliver or drop span)
@@ -28,10 +31,14 @@ import sys
 def load_spans(path):
     """Return a list of span dicts with the JSONL field names."""
     with open(path, "r", encoding="utf-8") as f:
-        head = f.read(1)
-        f.seek(0)
-        if head == "{":
+        # JSONL span lines start with "{" too, so sniff by parsing: a
+        # Chrome trace is one JSON document, a JSONL file is not.
+        try:
             doc = json.load(f)
+        except json.JSONDecodeError:
+            doc = None
+        f.seek(0)
+        if isinstance(doc, dict):
             spans = []
             for ev in doc.get("traceEvents", []):
                 args = ev.get("args", {})
@@ -115,6 +122,36 @@ def phase_breakdown(spans):
     return rows
 
 
+def hot_key_attribution(spans):
+    """Aggregate "hot-key" spans (a = rendezvous key, b = notifications
+    the match charged to it) and attribute each trace's publish->deliver
+    wall time evenly across the distinct keys its matches touched.
+
+    Returns {key: {"matches", "notifications", "time_us"}}.
+    """
+    by_trace = collections.defaultdict(list)
+    for s in spans:
+        by_trace[s["trace"]].append(s)
+    keys = collections.defaultdict(
+        lambda: {"matches": 0, "notifications": 0, "time_us": 0.0})
+    for members in by_trace.values():
+        hot = [m for m in members if m["kind"] == "hot-key"]
+        if not hot:
+            continue
+        publishes = [m["ts_us"] for m in members if m["kind"] == "publish"]
+        delivers = [m["end_us"] for m in members if m["kind"] == "deliver"]
+        total_us = (max(delivers) - min(publishes)
+                    if publishes and delivers else 0)
+        distinct = {m["a"] for m in hot}
+        share_us = total_us / len(distinct)
+        for m in hot:
+            keys[m["a"]]["matches"] += 1
+            keys[m["a"]]["notifications"] += m["b"]
+        for k in distinct:
+            keys[k]["time_us"] += share_us
+    return keys
+
+
 def pct(values, p):
     if not values:
         return 0.0
@@ -159,6 +196,22 @@ def main():
         hop_counts = [r["hops"] for r in rows]
         print(f"  route hops per trace: p50={pct(hop_counts, 50)} "
               f"p99={pct(hop_counts, 99)} max={max(hop_counts)}")
+
+    hot_keys = hot_key_attribution(spans)
+    if hot_keys:
+        total_notifs = sum(v["notifications"] for v in hot_keys.values())
+        print(f"\ntop {args.top} hottest rendezvous keys "
+              f"({len(hot_keys)} keys saw matches):")
+        print(f"  {'key':<12} {'matches':>8} {'notifs':>8} {'share':>7} "
+              f"{'attrib ms':>10}")
+        ranked = sorted(hot_keys.items(),
+                        key=lambda kv: (-kv[1]["notifications"],
+                                        -kv[1]["matches"], kv[0]))
+        for key, v in ranked[:args.top]:
+            share = (v["notifications"] / total_notifs
+                     if total_notifs else 0.0)
+            print(f"  {key:<12} {v['matches']:>8} {v['notifications']:>8} "
+                  f"{share:>6.1%} {v['time_us'] / 1000:>10.1f}")
 
     print(f"\ntop {args.top} hottest nodes by span count:")
     per_node = collections.Counter(s["node"] for s in spans)
